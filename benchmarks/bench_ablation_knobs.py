@@ -1,0 +1,75 @@
+"""Ablation — which of the § V changes buys what.
+
+Toggles the three § V transfer-stage changes independently on the
+analysis scenario (at 1/8 paper scale so the 8-combination grid stays
+quick): criterion (original/relaxed), CMF (original/modified), CMF
+recomputation (off/on). DESIGN.md calls these out as the design
+decisions worth ablating.
+
+Expected: the criterion is the dominant factor (the paper's headline
+claim); the modified CMF and recomputation refine the relaxed-criterion
+result but cannot rescue the original criterion.
+"""
+
+import itertools
+
+from repro.analysis import format_rows
+from repro.core.gossip import GossipConfig
+from repro.core.refinement import iterative_refinement
+from repro.core.transfer import TransferConfig
+from repro.workloads import paper_analysis_scenario
+
+
+def run_grid():
+    dist = paper_analysis_scenario(n_tasks=2500, n_loaded_ranks=8, n_ranks=512, seed=3)
+    rows = []
+    for criterion, cmf, recompute in itertools.product(
+        ("original", "relaxed"), ("original", "modified"), (False, True)
+    ):
+        transfer = TransferConfig(
+            criterion=criterion,
+            cmf=cmf,
+            recompute_cmf=recompute,
+            view="shared",
+            max_passes=None,
+            cascade=True,
+        )
+        result = iterative_refinement(
+            dist,
+            n_trials=1,
+            n_iters=8,
+            gossip=GossipConfig(),
+            transfer=transfer,
+            rng=7,
+        )
+        rows.append(
+            {
+                "criterion": criterion,
+                "cmf": cmf,
+                "recompute": str(recompute),
+                "final I": result.best_imbalance,
+            }
+        )
+    return dist.imbalance(), rows
+
+
+def test_ablation_transfer_knobs(benchmark, artifact):
+    initial, rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = format_rows(
+        rows,
+        ["criterion", "cmf", "recompute", "final I"],
+        title=f"Ablation: § V transfer-stage knobs (initial I = {initial:.1f})",
+    )
+    artifact("ablation_knobs", table)
+
+    by_key = {
+        (r["criterion"], r["cmf"], r["recompute"]): r["final I"] for r in rows
+    }
+    # The criterion dominates: every relaxed combo beats every original combo.
+    worst_relaxed = max(v for (c, _, _), v in by_key.items() if c == "relaxed")
+    best_original = min(v for (c, _, _), v in by_key.items() if c == "original")
+    assert worst_relaxed < best_original
+    # The flagship combination is at least as good as relaxed alone.
+    flagship = by_key[("relaxed", "modified", "True")]
+    plain = by_key[("relaxed", "original", "False")]
+    assert flagship <= plain * 1.5  # no regression (both are tiny)

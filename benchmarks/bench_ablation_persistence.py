@@ -1,0 +1,87 @@
+"""Ablation — how much persistence does the balancer actually need?
+
+§ III-B: "The efficacy of our load balancing algorithms presented
+herein relies on [the principle of persistence], so it must hold to
+some extent". This bench quantifies "some extent": the balancer decides
+on phase-t loads, but phase t+1 executes loads perturbed by
+multiplicative lognormal noise (sigma = 0 is perfect persistence) or
+drifted by a moving hotspot of increasing speed.
+"""
+
+import numpy as np
+
+from repro.analysis import format_rows
+from repro.core.distribution import Distribution
+from repro.core.tempered import TemperedLB
+from repro.workloads import MovingHotspot, PersistenceNoise
+
+
+def run_noise_study():
+    n_ranks, n_tasks = 64, 1024
+    rng = np.random.default_rng(0)
+    base_loads = rng.gamma(2.0, 0.5, size=n_tasks)
+    assignment = (np.arange(n_tasks) * n_ranks // n_tasks).astype(np.int64)
+    lb = TemperedLB(n_trials=1, n_iters=6)
+    rows = []
+    for sigma in (0.0, 0.1, 0.3, 0.8, 1.5):
+        noise = PersistenceNoise(sigma=sigma, seed=1)
+        dist = Distribution(base_loads, assignment, n_ranks)
+        result = lb.rebalance(dist, rng=np.random.default_rng(2))
+        actual = noise.perturb(base_loads)
+        executed = np.bincount(result.assignment, weights=actual, minlength=n_ranks)
+        rows.append(
+            {
+                "noise sigma": sigma,
+                "predicted I": result.final_imbalance,
+                "executed I": float(executed.max() / executed.mean() - 1.0),
+            }
+        )
+    return rows
+
+
+def run_drift_study():
+    n_ranks, n_tasks = 64, 1024
+    assignment = (np.arange(n_tasks) * n_ranks // n_tasks).astype(np.int64)
+    lb = TemperedLB(n_trials=1, n_iters=6)
+    rows = []
+    for speed in (0.0, 0.001, 0.01, 0.05, 0.2):
+        hotspot = MovingHotspot(n_tasks, base=0.3, amplitude=20.0, sigma=0.05, speed=speed)
+        dist = Distribution(hotspot.loads(0), assignment, n_ranks)
+        result = lb.rebalance(dist, rng=np.random.default_rng(3))
+        next_loads = hotspot.loads(1)
+        executed = np.bincount(result.assignment, weights=next_loads, minlength=n_ranks)
+        rows.append(
+            {
+                "hotspot speed": speed,
+                "persistence corr": hotspot.persistence(0),
+                "executed I": float(executed.max() / executed.mean() - 1.0),
+            }
+        )
+    return rows
+
+
+def test_ablation_persistence(benchmark, artifact):
+    noise_rows, drift_rows = benchmark.pedantic(
+        lambda: (run_noise_study(), run_drift_study()), rounds=1, iterations=1
+    )
+    table = format_rows(
+        noise_rows,
+        ["noise sigma", "predicted I", "executed I"],
+        title="Ablation: balancing on noisy load predictions",
+    )
+    table += "\n\n" + format_rows(
+        drift_rows,
+        ["hotspot speed", "persistence corr", "executed I"],
+        title="Ablation: balancing against a drifting hotspot",
+    )
+    artifact("ablation_persistence", table)
+
+    # Perfect persistence executes what was predicted.
+    assert noise_rows[0]["executed I"] == noise_rows[0]["predicted I"]
+    # Executed imbalance degrades monotonically-ish with noise; heavy
+    # noise is clearly worse than none.
+    assert noise_rows[-1]["executed I"] > 3 * noise_rows[0]["executed I"]
+    # Fast drift defeats stale predictions: executed I grows with speed.
+    assert drift_rows[-1]["executed I"] > drift_rows[0]["executed I"]
+    # But slow drift (high persistence correlation) stays near-perfect.
+    assert drift_rows[1]["executed I"] < 2 * drift_rows[0]["executed I"] + 0.2

@@ -1,0 +1,60 @@
+"""The § VI-A motivation — incremental LB vs. synchronous repartitioning.
+
+The paper's case for fine-grained AMT balancing over the conventional
+approach ("infrequently re-partition the mesh"): repartitioning is
+synchronous and moves large data volumes (mesh + fields + connectivity
+rebuild), so even when its *balance quality* matches, its cost structure
+loses. This bench runs the RCB-repartitioning baseline against
+TemperedLB on the same B-Dot run at two repartition frequencies.
+"""
+
+import dataclasses
+
+from _cache import EMPIRE_BASE, empire_run
+from repro.analysis import format_rows
+from repro.empire.app import EmpireConfig, run_empire
+
+
+def test_conventional_repartitioning(benchmark, artifact):
+    def run():
+        rows = []
+        runs = {}
+        for label, cfg in (
+            ("TemperedLB (every 100)", EMPIRE_BASE.with_configuration("tempered")),
+            ("RCB repartition (every 100)", EMPIRE_BASE.with_configuration("rcb")),
+            (
+                "RCB repartition (every 300)",
+                dataclasses.replace(EMPIRE_BASE.with_configuration("rcb"), lb_period=300),
+            ),
+        ):
+            run = empire_run("tempered") if label.startswith("TemperedLB") else run_empire(cfg)
+            runs[label] = run
+            rows.append(
+                {
+                    "configuration": label,
+                    "t_p": run.t_particle,
+                    "t_lb": run.t_lb,
+                    "t_total": run.t_total,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_rows(
+        rows,
+        ["configuration", "t_p", "t_lb", "t_total"],
+        title="Conventional synchronous repartitioning vs incremental LB (§ VI-A)",
+    )
+    artifact("conventional_repartitioning", table)
+
+    by = {r["configuration"]: r for r in rows}
+    tempered = by["TemperedLB (every 100)"]
+    rcb_100 = by["RCB repartition (every 100)"]
+    rcb_300 = by["RCB repartition (every 300)"]
+    # Comparable balance quality at the same frequency...
+    assert rcb_100["t_p"] < 1.5 * tempered["t_p"]
+    # ...but the synchronous reconfiguration costs several times more.
+    assert rcb_100["t_lb"] > 3 * tempered["t_lb"]
+    # Repartitioning less often trades LB cost for decayed balance.
+    assert rcb_300["t_lb"] < rcb_100["t_lb"]
+    assert rcb_300["t_p"] > rcb_100["t_p"]

@@ -1,0 +1,38 @@
+"""Fig. 3 — execution-time breakdown table.
+
+Paper: t_n (non-particle), t_p (particle), t_lb (LB + migration) and
+t_total per configuration; the balancers' t_lb (5-11s) is negligible
+against totals of ~2500-5900s, with TemperedLB's slightly larger than
+the others due to its trials x iterations and migration volume.
+"""
+
+from _cache import EMPIRE_CONFIGS, empire_run
+from repro.analysis import format_rows
+
+
+def test_fig3_breakdown(benchmark, artifact):
+    runs = benchmark.pedantic(
+        lambda: {name: empire_run(name) for name in EMPIRE_CONFIGS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [runs[name].breakdown() for name in EMPIRE_CONFIGS]
+    table = format_rows(
+        rows,
+        ["Type", "t_n", "t_p", "t_lb", "t_total"],
+        title="Fig. 3: execution time breakdown (simulated seconds)",
+    )
+    artifact("fig3_breakdown", table)
+
+    # t_n is configuration-independent (the SPMD field solve).
+    t_n = [runs[n].t_n for n in EMPIRE_CONFIGS]
+    assert max(t_n) - min(t_n) < 0.05 * max(t_n)
+    # LB cost is small relative to the application for every balancer.
+    for name in ("grapevine", "greedy", "hier", "tempered"):
+        run = runs[name]
+        assert 0.0 < run.t_lb < 0.1 * run.t_total, name
+    # No-LB configurations pay nothing.
+    assert runs["spmd"].t_lb == 0.0 and runs["amt"].t_lb == 0.0
+    # TemperedLB's LB bill exceeds the quick hierarchical pass (paper:
+    # 11s vs 8s) because of its trials x iterations.
+    assert runs["tempered"].t_lb > runs["hier"].t_lb

@@ -1,0 +1,50 @@
+"""Fig. 4a — total time per timestep for each configuration.
+
+Paper: the SPMD and AMT-without-LB curves sit well above the balanced
+ones; the balanced curves show visible spikes at LB steps (LB cost,
+RDMA buffer resizing, diagnostics).
+"""
+
+import numpy as np
+
+from _cache import EMPIRE_CONFIGS, empire_run
+from repro.analysis import format_rows
+
+SAMPLE_STEPS = list(range(50, 600, 50))
+
+
+def test_fig4a_time_per_timestep(benchmark, artifact):
+    runs = benchmark.pedantic(
+        lambda: {name: empire_run(name) for name in EMPIRE_CONFIGS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for step in SAMPLE_STEPS:
+        row = {"step": step}
+        for name in EMPIRE_CONFIGS:
+            row[name] = float(runs[name].series.series("t_step")[step])
+        rows.append(row)
+    table = format_rows(
+        rows,
+        ["step"] + EMPIRE_CONFIGS,
+        title="Fig. 4a: total time per timestep (sampled; simulated seconds)",
+    )
+
+    # The LB spike: compare an LB step against its neighbour.
+    tempered = runs["tempered"].series
+    spike = tempered.series("t_step")[200] - tempered.series("t_step")[199]
+    table += f"\n\nLB spike at step 200 (TemperedLB): +{spike:.3f}s over step 199"
+    artifact("fig4a_timestep_series", table)
+
+    # Balanced configurations run faster per step in the steady state.
+    window = slice(150, 600)
+    for name in ("greedy", "hier", "tempered"):
+        assert (
+            np.nansum(runs[name].series.series("t_step")[window])
+            < 0.7 * np.nansum(runs["spmd"].series.series("t_step")[window])
+        )
+    # The spike exists: LB steps cost visibly more than neighbours.
+    assert spike > 0
+    lb_steps = runs["tempered"].series.series("t_lb")
+    assert lb_steps[200] > 0 and lb_steps[199] == 0

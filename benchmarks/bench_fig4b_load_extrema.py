@@ -1,0 +1,52 @@
+"""Fig. 4b — max/min per-rank task load over time, with the lower bound.
+
+Paper: without LB the max hugs a high trajectory while the min stays
+near zero; with TemperedLB (and HierLB/GreedyLB) the max tracks the
+"Lower bound (max)" curve — max(l_ave, heaviest task) — and the min
+rises toward the average. TemperedLB keeps up with HierLB even while
+loads evolve rapidly.
+"""
+
+import numpy as np
+
+from _cache import empire_run
+from repro.analysis import format_rows
+
+CONFIGS = ["amt", "grapevine", "hier", "tempered"]
+SAMPLE_STEPS = list(range(50, 600, 50))
+
+
+def test_fig4b_load_extrema(benchmark, artifact):
+    runs = benchmark.pedantic(
+        lambda: {name: empire_run(name) for name in CONFIGS}, rounds=1, iterations=1
+    )
+    rows = []
+    for step in SAMPLE_STEPS:
+        row = {"step": step}
+        for name in CONFIGS:
+            s = runs[name].series
+            row[f"{name}.max"] = float(s.series("max_load")[step])
+            row[f"{name}.min"] = float(s.series("min_load")[step])
+        row["lower_bound"] = float(runs["tempered"].series.series("lower_bound")[step])
+        rows.append(row)
+    columns = ["step"] + [f"{n}.{k}" for n in CONFIGS for k in ("max", "min")] + ["lower_bound"]
+    table = format_rows(
+        rows, columns, title="Fig. 4b: per-rank task load extrema (simulated seconds)"
+    )
+    artifact("fig4b_load_extrema", table)
+
+    window = slice(150, 600)
+    tempered = runs["tempered"].series
+    lower = tempered.series("lower_bound")[window]
+    tmax = tempered.series("max_load")[window]
+    nolb_max = runs["amt"].series.series("max_load")[window]
+    # TemperedLB's max load stays within ~2x of the lower bound on
+    # average, far below the unbalanced max.
+    assert np.nanmean(tmax / lower) < 2.0
+    assert np.nanmean(tmax) < 0.5 * np.nanmean(nolb_max)
+    # The bound is never violated.
+    assert (tmax >= lower - 1e-9).all()
+    # Balanced min-load rises toward the average; unbalanced stays low.
+    assert np.nanmean(tempered.series("min_load")[window]) > 2 * np.nanmean(
+        runs["amt"].series.series("min_load")[window]
+    )

@@ -1,0 +1,59 @@
+"""Fig. 4c — the imbalance metric I over time per configuration.
+
+Paper: without LB, I starts around 7 and decays to ~3.3 as the average
+rank load grows with total particle work; the balanced configurations
+hold I well below 1 between LB episodes, with GrapevineLB noticeably
+worse than the rest.
+"""
+
+import numpy as np
+
+from _cache import EMPIRE_CONFIGS, empire_run
+from repro.analysis import format_rows
+
+SAMPLE_STEPS = list(range(50, 600, 50))
+
+
+def test_fig4c_imbalance_series(benchmark, artifact):
+    runs = benchmark.pedantic(
+        lambda: {name: empire_run(name) for name in EMPIRE_CONFIGS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for step in SAMPLE_STEPS:
+        row = {"step": step}
+        for name in EMPIRE_CONFIGS:
+            row[name] = float(runs[name].series.series("imbalance")[step])
+        rows.append(row)
+    table = format_rows(
+        rows, ["step"] + EMPIRE_CONFIGS, title="Fig. 4c: imbalance metric I over time"
+    )
+    from repro.analysis.plot import strip_chart
+
+    chart = strip_chart(
+        {
+            name: runs[name].series.series("imbalance")[20:]
+            for name in ("amt", "grapevine", "tempered")
+        },
+        width=70,
+        height=12,
+        logy=True,
+    )
+    table += "\n\n" + chart
+    artifact("fig4c_imbalance_series", table)
+
+    nolb = runs["amt"].series.series("imbalance")
+    # The no-LB trajectory: high early (paper ~7), decaying (paper ~3.3)
+    # because the average load grows.
+    assert nolb[100] > 5.0
+    assert nolb[599] < 0.6 * nolb[100]
+    assert nolb[599] > 1.5
+    # Balanced configurations keep I low in steady state.
+    window = slice(150, 600)
+    for name in ("greedy", "hier", "tempered"):
+        assert np.nanmean(runs[name].series.series("imbalance")[window]) < 1.0
+    # Grapevine sits between no-LB and the good balancers.
+    grapevine = np.nanmean(runs["grapevine"].series.series("imbalance")[window])
+    assert grapevine > np.nanmean(runs["tempered"].series.series("imbalance")[window])
+    assert grapevine < np.nanmean(nolb[window])

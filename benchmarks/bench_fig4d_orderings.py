@@ -1,0 +1,55 @@
+"""Fig. 4d — particle update time under the three § V-E orderings.
+
+Paper: *Fewest Migrations* (Alg. 5) performs best overall, motivating
+its use as the flagship TemperedLB configuration; *Migrate Most
+Lightweight* (Alg. 6) fails to beat the *Load-Intensive* straw-man
+(Alg. 4) decisively — an acknowledged open question (§ VII).
+
+Expected shape: all three orderings land in the same quality class
+(well below no-LB), with FewestMigrations competitive with the best and
+proposing fewer migrations than Lightest.
+"""
+
+import numpy as np
+
+from _cache import empire_ordering_run, empire_run
+from repro.analysis import format_rows
+
+ORDERINGS = ["load_intensive", "fewest_migrations", "lightest"]
+
+
+def test_fig4d_orderings(benchmark, artifact):
+    runs = benchmark.pedantic(
+        lambda: {name: empire_ordering_run(name) for name in ORDERINGS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name in ORDERINGS:
+        run = runs[name]
+        rows.append(
+            {
+                "ordering": name,
+                "t_particle": run.t_particle,
+                "t_lb": run.t_lb,
+                "migrations": float(np.nansum(run.series.series("migrations"))),
+            }
+        )
+    table = format_rows(
+        rows,
+        ["ordering", "t_particle", "t_lb", "migrations"],
+        title="Fig. 4d: particle update time by task traversal ordering",
+    )
+    artifact("fig4d_orderings", table)
+
+    t_p = {n: runs[n].t_particle for n in ORDERINGS}
+    migrations = {n: float(np.nansum(runs[n].series.series("migrations"))) for n in ORDERINGS}
+    nolb = empire_run("amt").t_particle
+    # Every ordering is a massive win over not balancing.
+    for name in ORDERINGS:
+        assert t_p[name] < 0.6 * nolb
+    # Same quality class: within 35% of the best.
+    best = min(t_p.values())
+    assert max(t_p.values()) < 1.35 * best
+    # FewestMigrations earns its name against the Lightest ordering.
+    assert migrations["fewest_migrations"] < migrations["lightest"]

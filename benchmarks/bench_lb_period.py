@@ -1,0 +1,61 @@
+"""LB frequency sensitivity — the paper's amortization argument.
+
+§ VI-A: "By making the LB step more incremental, its frequency can be
+adjusted to match the imbalance rate arising from migrating particles".
+This bench sweeps the TemperedLB invocation period on the B-Dot run:
+too rare and the balance decays between episodes (t_p rises); too
+frequent and t_lb grows for no t_p gain. The optimum sits at a period
+matched to the drift rate — around the paper's choice of 100 for this
+workload.
+"""
+
+import dataclasses
+
+from _cache import EMPIRE_BASE
+from repro.analysis import format_rows
+from repro.empire.app import run_empire
+
+PERIODS = [25, 50, 100, 200, 400]
+
+
+def run_sweep():
+    rows = []
+    for period in PERIODS:
+        cfg = dataclasses.replace(
+            EMPIRE_BASE.with_configuration("tempered"), lb_period=period
+        )
+        run = run_empire(cfg)
+        rows.append(
+            {
+                "lb_period": period,
+                "episodes": run.extra["lb_invocations"],
+                "t_p": run.t_particle,
+                "t_lb": run.t_lb,
+                "t_total": run.t_total,
+            }
+        )
+    return rows
+
+
+def test_lb_period_sensitivity(benchmark, artifact):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_rows(
+        rows,
+        ["lb_period", "episodes", "t_p", "t_lb", "t_total"],
+        title="TemperedLB invocation period on the B-Dot run (600 steps)",
+    )
+    artifact("lb_period", table)
+
+    by = {r["lb_period"]: r for r in rows}
+    # More frequent balancing costs more LB time...
+    assert by[25]["t_lb"] > by[400]["t_lb"]
+    # ...and rarer balancing lets particle time decay.
+    assert by[400]["t_p"] > by[50]["t_p"]
+    # Every balanced configuration still beats doing nothing by a lot
+    # (the no-LB run is ~122s of particle time at this scale).
+    for row in rows:
+        assert row["t_p"] < 80.0
+    # The total-time optimum is interior or at moderate frequency — the
+    # extremes don't win.
+    best = min(rows, key=lambda r: r["t_total"])
+    assert best["lb_period"] in (25, 50, 100, 200)

@@ -1,0 +1,73 @@
+"""MD mini-app study — n^2 cell costs under the balancer family (§ II).
+
+Molecular dynamics is the second workload class the GrapevineLB
+lineage was demonstrated on. Its signature stressor: per-cell force
+cost is quadratic in occupancy, so dense droplets concentrate load far
+more sharply than particle counts suggest, and the droplets drift.
+Reports steady-state imbalance per strategy, plus the § VII
+communication-aware variant's balance/traffic trade.
+"""
+
+import numpy as np
+
+from repro.analysis import format_rows
+from repro.core.grapevine import GrapevineLB
+from repro.core.greedy import GreedyLB
+from repro.core.tempered import TemperedLB
+from repro.md import MDConfig, MDSimulation
+
+KW = dict(n_ranks=32, gx=32, gy=32, n_phases=30, lb_period=5, n_particles=15_000)
+
+
+def run_all():
+    runs = {
+        "no LB": MDSimulation(MDConfig(lb_period=10_000, **{k: v for k, v in KW.items() if k != "lb_period"})),
+        "GrapevineLB": MDSimulation(MDConfig(**KW), balancer=GrapevineLB(n_iters=4)),
+        "GreedyLB": MDSimulation(MDConfig(**KW), balancer=GreedyLB()),
+        "TemperedLB": MDSimulation(
+            MDConfig(**KW), balancer=TemperedLB(n_trials=1, n_iters=5, fanout=4, rounds=6)
+        ),
+        "TemperedLB+comm": MDSimulation(
+            MDConfig(comm_aware=True, **KW),
+            balancer=TemperedLB(n_trials=1, n_iters=5, fanout=4, rounds=6),
+        ),
+    }
+    rows = []
+    for label, sim in runs.items():
+        series = sim.run()
+        steady = slice(10, None)
+        rows.append(
+            {
+                "strategy": label,
+                "mean I": float(np.nanmean(series.series("imbalance")[steady])),
+                "mean makespan": float(np.nanmean(series.series("makespan")[steady])),
+                "off-rank frac": float(
+                    np.nanmean(
+                        series.series("off_rank_volume")[steady]
+                        / series.series("total_volume")[steady]
+                    )
+                ),
+            }
+        )
+    return rows
+
+
+def test_md_strategies(benchmark, artifact):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_rows(
+        rows,
+        ["strategy", "mean I", "mean makespan", "off-rank frac"],
+        title="MD mini-app (drifting droplets, n^2 cell costs): steady state",
+    )
+    artifact("md_strategies", table)
+
+    by = {r["strategy"]: r for r in rows}
+    # Balancing wins big on the quadratic workload.
+    assert by["TemperedLB"]["mean makespan"] < 0.5 * by["no LB"]["mean makespan"]
+    assert by["GreedyLB"]["mean I"] < by["no LB"]["mean I"]
+    # Tempered lands in the quality class of the centralized yardstick.
+    assert by["TemperedLB"]["mean I"] < 3 * by["GreedyLB"]["mean I"] + 0.3
+    # The comm-aware variant keeps more halo traffic on-rank than plain
+    # TemperedLB at a bounded balance cost.
+    assert by["TemperedLB+comm"]["off-rank frac"] < by["TemperedLB"]["off-rank frac"]
+    assert by["TemperedLB+comm"]["mean makespan"] < 0.7 * by["no LB"]["mean makespan"]

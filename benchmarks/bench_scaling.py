@@ -1,0 +1,72 @@
+"""Scaling — balancer wall-clock and quality vs rank count.
+
+The paper's scalability argument (§ IV): centralized balancers become
+the bottleneck as P grows; the gossip balancer's per-rank work stays
+flat. In this phase-level harness everything runs on one host, so we
+measure the *algorithm's* wall-clock cost as P grows at fixed tasks per
+loaded rank, plus the quality each achieves.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_rows
+from repro.core.greedy import GreedyLB
+from repro.core.hier import HierLB
+from repro.core.tempered import TemperedLB
+from repro.workloads import paper_analysis_scenario
+
+SCALES = [256, 1024, 4096]
+
+
+def run_scaling():
+    rows = []
+    for n_ranks in SCALES:
+        dist = paper_analysis_scenario(
+            n_tasks=max(2000, 4 * n_ranks),
+            n_loaded_ranks=16,
+            n_ranks=n_ranks,
+            seed=1,
+        )
+        # Granularity floor: no assignment can beat the heaviest task.
+        i_floor = dist.task_loads.max() / dist.average_load - 1.0
+        for lb in (
+            TemperedLB(n_trials=1, n_iters=4),
+            GreedyLB(),
+            HierLB(),
+        ):
+            start = time.perf_counter()
+            result = lb.rebalance(dist, rng=np.random.default_rng(0))
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "P": n_ranks,
+                    "strategy": result.strategy,
+                    "wall (s)": elapsed,
+                    "final I": result.final_imbalance,
+                    "I floor": max(i_floor, 0.0),
+                    "migrations": result.n_migrations,
+                }
+            )
+    return rows
+
+
+def test_scaling_with_rank_count(benchmark, artifact):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    table = format_rows(
+        rows,
+        ["P", "strategy", "wall (s)", "final I", "I floor", "migrations"],
+        title="Scaling: strategy cost and quality vs rank count",
+    )
+    artifact("scaling", table)
+
+    # Quality holds across scales for the gossip balancer.
+    tempered = {r["P"]: r for r in rows if r["strategy"] == "TemperedLB"}
+    for n_ranks in SCALES:
+        assert tempered[n_ranks]["final I"] < 0.1 * (n_ranks / 16)
+    # Greedy is near-optimal everywhere: within the LPT 4/3 guarantee of
+    # the granularity floor (the heaviest single task).
+    for r in rows:
+        if r["strategy"] == "GreedyLB":
+            assert 1.0 + r["final I"] <= (4 / 3) * (1.0 + r["I floor"]) + 1e-9

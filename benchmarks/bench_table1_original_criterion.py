@@ -1,0 +1,37 @@
+"""§ V-B table — the original criterion's iteration study.
+
+Paper setup: 10 iterations of the original GrapevineLB algorithm, each
+with k=10 gossip rounds, h=1.0, f=6, on 10^4 tasks placed on 2^4 of
+2^12 ranks. Paper result: I drops 280 -> 187 in iteration 1, then
+stalls (~182) with rejection rates >= 94% — the local-minimum trap.
+
+Expected shape here: one early drop of the imbalance, then stagnation;
+rejection rate climbing to ~100% within a couple of iterations.
+"""
+
+from _cache import analysis_scenario, study
+from repro.analysis import format_iteration_table
+
+
+def test_table1_original_criterion(benchmark, artifact):
+    result = benchmark.pedantic(lambda: study("original"), rounds=1, iterations=1)
+    table = format_iteration_table(
+        result.records,
+        result.initial_imbalance,
+        title=(
+            "Table 1 (§ V-B): original criterion (Alg. 2 l.35), "
+            f"{analysis_scenario().n_tasks} tasks on 16 of 4096 ranks, "
+            "k=10, h=1.0, f=6"
+        ),
+    )
+    artifact("table1_original_criterion", table)
+
+    # Shape assertions (paper: stall after iteration 1, >=94% rejection).
+    records = result.records
+    assert records[0].imbalance < result.initial_imbalance
+    later = records[3:]
+    assert all(r.rejection_rate > 90.0 for r in later)
+    # Stagnation: the last five iterations improve by < 5% combined.
+    assert records[-1].imbalance > 0.95 * records[4].imbalance
+    # The stall point stays catastrophically high (same order as I0).
+    assert records[-1].imbalance > 0.3 * result.initial_imbalance

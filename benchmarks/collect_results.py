@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/*.txt into a single RESULTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/collect_results.py [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import date
+from pathlib import Path
+
+#: Presentation order: paper artifacts first, then the studies.
+ORDER = [
+    ("The paper's tables", ["table1_original_criterion", "table2_relaxed_criterion", "table3_criterion_comparison"]),
+    ("The paper's figures", ["fig2_overall", "fig3_breakdown", "fig4a_timestep_series", "fig4b_load_extrema", "fig4c_imbalance_series", "fig4d_orderings"]),
+    (
+        "Ablations and extensions",
+        [
+            "ablation_knobs",
+            "ablation_gossip",
+            "ablation_nacks",
+            "ablation_limited_knowledge",
+            "ablation_comm_aware",
+            "ablation_persistence",
+            "lb_period",
+            "conventional_repartitioning",
+            "work_stealing",
+            "amr_mapping",
+            "md_strategies",
+            "heterogeneous",
+            "scaling",
+            "runtime_protocols",
+        ],
+    ),
+]
+
+
+def main() -> int:
+    results_dir = Path(__file__).parent / "results"
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else results_dir / "RESULTS.md"
+    if not results_dir.is_dir():
+        print("no benchmarks/results/ — run `pytest benchmarks/ --benchmark-only` first")
+        return 1
+    seen: set[str] = set()
+    sections: list[str] = [
+        "# Benchmark results",
+        "",
+        f"Assembled {date.today().isoformat()} from `benchmarks/results/*.txt`.",
+        "",
+    ]
+    for title, names in ORDER:
+        block = []
+        for name in names:
+            path = results_dir / f"{name}.txt"
+            if path.is_file():
+                seen.add(name)
+                block.append(f"### {name}\n\n```\n{path.read_text().rstrip()}\n```\n")
+        if block:
+            sections.append(f"## {title}\n")
+            sections.extend(block)
+    leftovers = sorted(
+        p.stem for p in results_dir.glob("*.txt") if p.stem not in seen
+    )
+    if leftovers:
+        sections.append("## Other artifacts\n")
+        for name in leftovers:
+            sections.append(
+                f"### {name}\n\n```\n{(results_dir / f'{name}.txt').read_text().rstrip()}\n```\n"
+            )
+    out_path.write_text("\n".join(sections) + "\n")
+    print(f"wrote {out_path} ({len(seen) + len(leftovers)} artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artifact (table or figure series),
+prints it, and writes it to ``benchmarks/results/<name>.txt`` so the
+output survives without ``-s``. Benches that share expensive underlying
+runs (the Fig. 2/3/4 family all consume the same six EMPIRE runs) pull
+them from the memoized helpers in ``_cache.py`` — the first bench to
+need a run pays for it inside its own timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def artifact():
+    """Writer fixture: ``artifact(name, text)`` prints and persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""AMR with an expanding refinement front (the § II workload class).
+
+Drives the quadtree mini-app: a circular front sweeps outward, blocks
+refine near it (with 2:1 balance) and coarsen behind it, and the block
+population — and its distribution across ranks — changes every phase.
+Compares the space-filling-curve mapping against incremental TemperedLB.
+
+Run:  python examples/amr_front.py
+"""
+
+import numpy as np
+
+from repro.amr import AMRConfig, AMRSimulation
+from repro.analysis.plot import sparkline
+
+
+def main() -> None:
+    kw = dict(n_ranks=16, base_level=3, max_level=5, n_phases=24, lb_period=4, load_noise=0.5)
+    for mapping in ("sfc", "balancer"):
+        sim = AMRSimulation(AMRConfig(mapping=mapping, **kw))
+        records = sim.run()
+        blocks = sim.series.series("n_blocks")
+        imbalance = sim.series.series("imbalance")
+        label = "SFC curve re-cut" if mapping == "sfc" else "incremental TemperedLB"
+        print(f"{label}:")
+        print(f"  blocks     {sparkline(blocks)}  ({int(blocks[0])} -> {int(blocks[-1])})")
+        print(f"  imbalance  {sparkline(imbalance)}  "
+              f"(mean at LB steps: {np.mean([r.imbalance for r in records if r.phase % 4 == 0]):.3f})")
+        print(f"  total migrations: {sum(r.migrations for r in records)}")
+        print(f"  refinements: {sum(r.refined for r in records)}, "
+              f"coarsenings: {sum(r.coarsened for r in records)}\n")
+    print("Both mappings keep the imbalance bounded; the incremental balancer")
+    print("does it while moving a fraction of the blocks the curve re-cut moves.")
+
+
+if __name__ == "__main__":
+    main()

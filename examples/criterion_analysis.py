@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's § V-B / § V-D criterion analysis (scaled down).
+
+The full-scale version (10^4 tasks on 2^4 of 2^12 ranks) is regenerated
+by ``benchmarks/bench_table1_original_criterion.py`` and friends; this
+example runs the same study at 1/8 scale in a few seconds and prints the
+three tables of § V: the original criterion stalling at a high
+imbalance with ~100% rejection, the relaxed criterion collapsing the
+imbalance, and the side-by-side comparison.
+
+Run:  python examples/criterion_analysis.py
+"""
+
+from repro.analysis import (
+    criterion_comparison,
+    format_comparison_table,
+    format_iteration_table,
+)
+from repro.workloads import paper_analysis_scenario
+
+
+def main() -> None:
+    dist = paper_analysis_scenario(
+        n_tasks=2500, n_loaded_ranks=8, n_ranks=512, seed=3
+    )
+    print(f"scenario: {dist.n_tasks} tasks on 8 of {dist.n_ranks} ranks, I0 = {dist.imbalance():.1f}\n")
+
+    studies = criterion_comparison(dist, n_iters=10, seed=7)
+
+    print(
+        format_iteration_table(
+            studies["original"].records,
+            studies["original"].initial_imbalance,
+            title="Original criterion (Alg. 2 l.35) — GrapevineLB",
+        )
+    )
+    print()
+    print(
+        format_iteration_table(
+            studies["relaxed"].records,
+            studies["relaxed"].initial_imbalance,
+            title="Relaxed criterion (Alg. 2 l.37) — TemperedLB",
+        )
+    )
+    print()
+    print(
+        format_comparison_table(
+            {"Criterion 35": studies["original"], "Criterion 37": studies["relaxed"]},
+            title="Imbalance per iteration (cf. § V-D comparison table)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

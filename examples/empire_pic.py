@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run the EMPIRE PIC surrogate in all five paper configurations.
+
+A scaled-down version of Fig. 2 / Fig. 3: 100 ranks, 200 timesteps.
+Prints the execution-time breakdown table and the speedup multipliers
+against the SPMD baseline.
+
+Run:  python examples/empire_pic.py
+"""
+
+from repro.analysis import format_rows
+from repro.empire import EmpireConfig, run_empire
+
+
+def main() -> None:
+    base = EmpireConfig(
+        n_ranks=100,
+        n_steps=200,
+        lb_period=50,
+        initial_particles=10_000,
+        injection_per_step=100,
+        n_trials=1,
+        n_iters=6,
+    )
+    configs = ["spmd", "amt", "grapevine", "greedy", "hier", "tempered"]
+    runs = {}
+    for name in configs:
+        print(f"running {name} ...", flush=True)
+        runs[name] = run_empire(base.with_configuration(name))
+
+    rows = [runs[name].breakdown() for name in configs]
+    print()
+    print(format_rows(rows, ["Type", "t_n", "t_p", "t_lb", "t_total"], title="Execution time breakdown (cf. Fig. 3)"))
+
+    spmd = runs["spmd"]
+    print("\nSpeedups vs SPMD (cf. Fig. 2 multipliers):")
+    for name in configs:
+        run = runs[name]
+        print(
+            f"  {run.config.label:<20} particle: {spmd.t_particle / run.t_particle:5.2f}x"
+            f"   total: {spmd.t_total / run.t_total:5.2f}x"
+        )
+
+    nolb = runs["amt"].series.series("imbalance")
+    tmp = runs["tempered"].series.series("imbalance")
+    print("\nImbalance trajectory (cf. Fig. 4c), sampled every 40 steps:")
+    print("  step:      " + "  ".join(f"{s:6d}" for s in range(0, 200, 40)))
+    print("  no LB:     " + "  ".join(f"{nolb[s]:6.2f}" for s in range(0, 200, 40)))
+    print("  tempered:  " + "  ".join(f"{tmp[s]:6.2f}" for s in range(0, 200, 40)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""The MD mini-app: drifting droplets with n^2 cell costs.
+
+Molecular dynamics concentrates load quadratically — a cell with twice
+the atoms costs four times the force work — so droplets are sharp
+hotspots. Runs the droplet scenario under no balancing, TemperedLB, and
+communication-aware TemperedLB, and prints the balance/traffic trade.
+
+Run:  python examples/md_droplets.py
+"""
+
+import numpy as np
+
+from repro.analysis.plot import sparkline
+from repro.core.tempered import TemperedLB
+from repro.md import MDConfig, MDSimulation
+
+
+def main() -> None:
+    base = dict(n_ranks=16, gx=24, gy=24, n_phases=30, lb_period=5, n_particles=8000)
+    configs = {
+        "no LB": MDConfig(lb_period=10_000, **{k: v for k, v in base.items() if k != "lb_period"}),
+        "TemperedLB": MDConfig(**base),
+        "TemperedLB+comm": MDConfig(comm_aware=True, **base),
+    }
+    print("MD droplets: 576 cells on 16 ranks, force cost ~ n^2 per cell\n")
+    for label, cfg in configs.items():
+        sim = MDSimulation(cfg, balancer=TemperedLB(n_trials=1, n_iters=5, fanout=4, rounds=5))
+        series = sim.run()
+        imb = series.series("imbalance")
+        off = series.series("off_rank_volume") / series.series("total_volume")
+        print(f"{label:<16} I: {sparkline(imb)}  "
+              f"(steady mean {np.mean(imb[10:]):.2f}), "
+              f"off-rank ghost traffic {np.mean(off[10:]):.0%}")
+    print("\nThe comm-aware variant trades a little balance for keeping most")
+    print("ghost-atom exchange on-rank — the § VII objective.")
+
+
+if __name__ == "__main__":
+    main()

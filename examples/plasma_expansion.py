@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A real electrostatic PIC run: plasma expansion under space charge.
+
+Unlike the calibrated B-Dot scenario, this example uses the actual PIC
+physics loop (charge deposition -> periodic Poisson solve -> field push):
+a dense blob expands under its own repulsion while an emitter keeps
+injecting, so the workload's imbalance decays *because of the physics*.
+Runs the loop with and without TemperedLB and prints both trajectories.
+
+Run:  python examples/plasma_expansion.py
+"""
+
+from repro.analysis.plot import sparkline
+from repro.core.tempered import TemperedLB
+from repro.empire.electrostatic import ElectrostaticScenario
+from repro.empire.mesh import Mesh2D
+from repro.empire.pic import PICSimulation, default_lb_schedule
+
+
+def run(balanced: bool):
+    mesh = Mesh2D(36, colors_per_rank=6)
+    scenario = ElectrostaticScenario(
+        initial_particles=8000,
+        injection_per_step=60,
+        blob_sigma=0.07,
+        nx=48,
+        ny=48,
+        mobility=8e-4,
+        seed=0,
+    )
+    sim = PICSimulation(
+        mesh,
+        scenario,
+        mode="amt",
+        balancer=TemperedLB(n_trials=1, n_iters=5, fanout=4, rounds=5) if balanced else None,
+        lb_schedule=default_lb_schedule(period=15, first=2),
+        seed=1,
+    )
+    return sim.run(75)
+
+
+def main() -> None:
+    plain = run(balanced=False)
+    balanced = run(balanced=True)
+    print("electrostatic plasma expansion, 36 ranks, 75 steps\n")
+    print("imbalance over time:")
+    print(f"  no LB       {sparkline(plain.series('imbalance'))}"
+          f"  (I: {plain.series('imbalance')[0]:.1f} -> {plain.series('imbalance')[-1]:.1f})")
+    print(f"  TemperedLB  {sparkline(balanced.series('imbalance'))}"
+          f"  (I: {balanced.series('imbalance')[0]:.1f} -> {balanced.series('imbalance')[-1]:.1f})")
+    t_plain = plain.series("t_particle").sum()
+    t_bal = balanced.series("t_particle").sum() + balanced.series("t_lb").sum()
+    print(f"\nparticle time: {t_plain:.1f}s without LB, "
+          f"{t_bal:.1f}s with TemperedLB (incl. LB cost) -> {t_plain/t_bal:.2f}x")
+    print("\nThe physics spreads the plasma on its own — imbalance decays even")
+    print("without balancing — but the balancer wins throughout the transient.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""EMPIRE's real mesh type: PIC on an unstructured triangulation.
+
+Builds a Delaunay mesh of the unit square, partitions its dual graph
+into ranks (the Zoltan role), colors each rank's triangles into
+migratable chunks, and runs the B-Dot plume over it with TemperedLB.
+Shows that the balancer is agnostic to the mesh structure — only the
+per-color loads matter — and reports the halo locality the nested
+partitioning preserves.
+
+Run:  python examples/unstructured_mesh.py
+"""
+
+import numpy as np
+
+from repro.analysis.plot import sparkline
+from repro.core.tempered import TemperedLB
+from repro.empire.bdot import BDotScenario
+from repro.empire.pic import PICSimulation, default_lb_schedule
+from repro.empire.unstructured import UnstructuredMesh2D
+
+
+def main() -> None:
+    mesh = UnstructuredMesh2D(25, colors_per_rank=8, n_points=3000, seed=0)
+    print(f"unstructured mesh: {mesh.n_cells} triangles, {mesh.n_ranks} ranks, "
+          f"{mesh.n_colors} colors")
+    print(f"triangles per color: {mesh.cells_per_color.min()}-{mesh.cells_per_color.max()} "
+          f"(mean {mesh.cells_per_color.mean():.1f})")
+    graph = mesh.neighbor_comm_graph()
+    home = mesh.home_assignment()
+    print(f"halo locality of the nested partitioning: "
+          f"{1 - graph.off_rank_volume(home) / graph.total_volume:.0%} on-rank\n")
+
+    scenario = BDotScenario(initial_particles=10_000, injection_per_step=80, seed=1)
+    for balanced in (False, True):
+        sim = PICSimulation(
+            mesh,
+            scenario_copy(scenario),
+            mode="amt",
+            balancer=TemperedLB(n_trials=1, n_iters=5, fanout=4, rounds=5) if balanced else None,
+            lb_schedule=default_lb_schedule(period=25, first=2),
+            seed=2,
+        )
+        series = sim.run(100)
+        label = "TemperedLB" if balanced else "no LB     "
+        imb = series.series("imbalance")
+        print(f"{label}  I: {sparkline(imb)}  "
+              f"({imb[1]:.1f} -> {imb[-1]:.1f}), "
+              f"particle time {series.series('t_particle').sum():.1f}s")
+
+
+def scenario_copy(template: BDotScenario) -> BDotScenario:
+    """A fresh scenario with the same parameters (same seed, same run)."""
+    return BDotScenario(
+        initial_particles=template.initial_particles,
+        injection_per_step=template.injection_per_step,
+        seed=1,
+    )
+
+
+if __name__ == "__main__":
+    main()

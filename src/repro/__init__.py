@@ -1,0 +1,58 @@
+"""repro — reproduction of *Optimizing Distributed Load Balancing for
+Workloads with Time-Varying Imbalance* (Lifflander et al., CLUSTER 2021).
+
+The package provides:
+
+- :mod:`repro.core` — the paper's contribution: the GrapevineLB and
+  TemperedLB gossip-based distributed load balancers, the centralized
+  GreedyLB and hierarchical HierLB baselines, transfer criteria, CMF
+  variants, and the § V-E task orderings.
+- :mod:`repro.sim` — a deterministic discrete-event simulation substrate
+  (logical rank processes, network cost model, termination detection,
+  tree reductions).
+- :mod:`repro.runtime` — an AMT runtime model (phases, instrumentation,
+  task migration, event-level asynchronous gossip) built on ``sim``.
+- :mod:`repro.empire` — an EMPIRE-like particle-in-cell surrogate
+  application with time-varying particle imbalance (the "B-Dot" scenario).
+- :mod:`repro.workloads` — synthetic workload generators, including the
+  paper's § V-B analysis scenario.
+- :mod:`repro.analysis` — the experiment harness that regenerates every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TemperedLB, Distribution
+    from repro.workloads import paper_analysis_scenario
+
+    dist = paper_analysis_scenario(seed=42)
+    lb = TemperedLB(n_trials=2, n_iters=10)
+    result = lb.rebalance(dist, rng=np.random.default_rng(0))
+    print(result.final_imbalance)
+"""
+
+from repro.core.base import IterationRecord, LBResult, LoadBalancer
+from repro.core.distribution import Distribution
+from repro.core.grapevine import GrapevineLB
+from repro.core.greedy import GreedyLB
+from repro.core.hier import HierLB
+from repro.core.metrics import LoadStatistics, imbalance, load_statistics
+from repro.core.tempered import TemperedConfig, TemperedLB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Distribution",
+    "GrapevineLB",
+    "GreedyLB",
+    "HierLB",
+    "IterationRecord",
+    "LBResult",
+    "LoadBalancer",
+    "LoadStatistics",
+    "TemperedConfig",
+    "TemperedLB",
+    "imbalance",
+    "load_statistics",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Tree-structured AMR mini-app.
+
+The gossip balancer lineage was demonstrated on adaptive mesh
+refinement (Menon & Kalé evaluate GrapevineLB on AMR; the paper's § II
+discusses tree-structured AMR frameworks whose space-filling-curve
+mappings "implicitly maintain communication locality, with the
+disadvantage that the ordering tightly constrains the possible
+assignments... hindering the load balancing process").
+
+This package provides the substrate to test that claim: a 2:1-balanced
+quadtree over the unit square (:mod:`repro.amr.quadtree`), Morton
+space-filling-curve ordering and partitioning (:mod:`repro.amr.morton`),
+a moving refinement front that drives time-varying block populations
+(:mod:`repro.amr.front`), and a phase driver comparing SFC partitioning
+against the task balancers (:mod:`repro.amr.app`).
+"""
+
+from repro.amr.app import AMRConfig, AMRPhaseRecord, AMRSimulation
+from repro.amr.front import CircularFront
+from repro.amr.morton import morton_key, morton_order, sfc_partition
+from repro.amr.quadtree import Block, QuadTree
+
+__all__ = [
+    "AMRConfig",
+    "AMRPhaseRecord",
+    "AMRSimulation",
+    "Block",
+    "CircularFront",
+    "QuadTree",
+    "morton_key",
+    "morton_order",
+    "sfc_partition",
+]

@@ -1,0 +1,88 @@
+"""Morton (Z-order) space-filling curve utilities.
+
+The classic block-to-rank mapping for tree AMR: blocks sorted along the
+Z-order curve, then the curve cut into ``P`` weighted segments — great
+locality, but the curve order "tightly constrains the possible
+assignments" (§ II), which is exactly what the AMR experiments probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["morton_key", "morton_order", "sfc_partition"]
+
+#: Tree depth limit: keys stay within 64 bits (2 * 24 + margin).
+MAX_LEVEL = 24
+
+
+def _part1by1(x: int) -> int:
+    """Spread the low 24 bits of ``x`` to even bit positions."""
+    x &= (1 << MAX_LEVEL) - 1
+    x = (x | (x << 16)) & 0x0000FFFF0000FFFF
+    x = (x | (x << 8)) & 0x00FF00FF00FF00FF
+    x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x << 2)) & 0x3333333333333333
+    x = (x | (x << 1)) & 0x5555555555555555
+    return x
+
+
+def morton_key(level: int, i: int, j: int) -> int:
+    """Z-order key comparable across refinement levels.
+
+    Coordinates are normalized to the deepest level so a parent sorts
+    immediately before its first child, preserving tree locality.
+    """
+    if not 0 <= level <= MAX_LEVEL:
+        raise ValueError(f"level must be in [0, {MAX_LEVEL}]")
+    side = 1 << level
+    if not (0 <= i < side and 0 <= j < side):
+        raise ValueError(f"block ({i}, {j}) outside level-{level} grid")
+    shift = MAX_LEVEL - level
+    code = _part1by1(i << shift) | (_part1by1(j << shift) << 1)
+    # Append the level so coincident corners (parent/child) order
+    # parent-first, keeping the traversal a proper tree walk.
+    return (code << 5) | level
+
+
+def morton_order(blocks: list[tuple[int, int, int]]) -> list[int]:
+    """Indices sorting ``(level, i, j)`` blocks along the Z-order curve."""
+    keys = [morton_key(*b) for b in blocks]
+    return sorted(range(len(blocks)), key=keys.__getitem__)
+
+
+def sfc_partition(
+    blocks: list[tuple[int, int, int]], weights: np.ndarray, n_parts: int
+) -> np.ndarray:
+    """Cut the Z-order curve into ``n_parts`` weight-balanced segments.
+
+    Returns a part id per block (in the input order). Each part is a
+    contiguous curve segment — the locality-preserving but
+    assignment-constrained mapping of § II.
+    """
+    check_positive("n_parts", n_parts)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(blocks),):
+        raise ValueError("need one weight per block")
+    order = morton_order(blocks)
+    total = weights.sum()
+    out = np.empty(len(blocks), dtype=np.int64)
+    if total <= 0:
+        # Degenerate: equal-count segments.
+        for pos, idx in enumerate(order):
+            out[idx] = min(pos * n_parts // max(len(blocks), 1), n_parts - 1)
+        return out
+    target = total / n_parts
+    part = 0
+    acc = 0.0
+    for idx in order:
+        w = float(weights[idx])
+        # Advance to the next segment when adding this block moves the
+        # running sum closer to the next boundary than leaving it.
+        if part < n_parts - 1 and acc + w / 2.0 >= target * (part + 1):
+            part += 1
+        out[idx] = part
+        acc += w
+    return out

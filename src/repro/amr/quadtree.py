@@ -1,0 +1,234 @@
+"""A 2:1-balanced quadtree over the unit square.
+
+Leaves are the AMR *blocks* (each carrying a fixed cell patch — the
+task granularity of tree AMR codes). The tree supports refinement,
+sibling coarsening, and enforcement of the standard 2:1 balance
+constraint (adjacent leaves differ by at most one level), which is the
+invariant AMR ghost exchanges depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amr.morton import MAX_LEVEL, morton_key
+from repro.util.validation import check_positive
+
+__all__ = ["Block", "QuadTree"]
+
+
+@dataclass(frozen=True, order=True)
+class Block:
+    """One quadtree block: level plus grid coordinates at that level."""
+
+    level: int
+    i: int
+    j: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.level <= MAX_LEVEL:
+            raise ValueError(f"level {self.level} out of range")
+        side = 1 << self.level
+        if not (0 <= self.i < side and 0 <= self.j < side):
+            raise ValueError(f"block ({self.i}, {self.j}) outside level-{self.level} grid")
+
+    @property
+    def size(self) -> float:
+        """Edge length of the block's region."""
+        return 1.0 / (1 << self.level)
+
+    def center(self) -> tuple[float, float]:
+        """Geometric center of the block's region."""
+        s = self.size
+        return ((self.i + 0.5) * s, (self.j + 0.5) * s)
+
+    def children(self) -> tuple["Block", ...]:
+        """The four blocks one level finer covering this block."""
+        level, i2, j2 = self.level + 1, self.i * 2, self.j * 2
+        return (
+            Block(level, i2, j2),
+            Block(level, i2 + 1, j2),
+            Block(level, i2, j2 + 1),
+            Block(level, i2 + 1, j2 + 1),
+        )
+
+    def parent(self) -> "Block":
+        """The block one level coarser containing this block."""
+        if self.level == 0:
+            raise ValueError("the root block has no parent")
+        return Block(self.level - 1, self.i // 2, self.j // 2)
+
+    def key(self) -> int:
+        """Morton key (tree-traversal order)."""
+        return morton_key(self.level, self.i, self.j)
+
+
+class QuadTree:
+    """A set of leaf blocks forming a partition of the unit square."""
+
+    def __init__(self, base_level: int = 3, max_level: int = 6) -> None:
+        check_positive("max_level", max_level)
+        if not 0 <= base_level <= max_level <= MAX_LEVEL:
+            raise ValueError("need 0 <= base_level <= max_level <= 24")
+        self.base_level = int(base_level)
+        self.max_level = int(max_level)
+        side = 1 << self.base_level
+        self._leaves: set[Block] = {
+            Block(self.base_level, i, j) for i in range(side) for j in range(side)
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self._leaves)
+
+    def leaves(self) -> list[Block]:
+        """All leaf blocks in Morton order."""
+        return sorted(self._leaves, key=Block.key)
+
+    def is_leaf(self, block: Block) -> bool:
+        return block in self._leaves
+
+    def covering_leaf(self, level: int, i: int, j: int) -> Block | None:
+        """The leaf containing the level-``level`` cell ``(i, j)``, if it
+        is at that level or coarser (None means the region is refined)."""
+        while level >= 0:
+            block = Block(level, i, j)
+            if block in self._leaves:
+                return block
+            level, i, j = level - 1, i // 2, j // 2
+        return None
+
+    def neighbors(self, block: Block) -> list[Block]:
+        """Leaf neighbors across the four faces (coarser, equal or finer)."""
+        out: list[Block] = []
+        side = 1 << block.level
+        for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ni, nj = block.i + di, block.j + dj
+            if not (0 <= ni < side and 0 <= nj < side):
+                continue
+            leaf = self.covering_leaf(block.level, ni, nj)
+            if leaf is not None:
+                out.append(leaf)
+                continue
+            # Refined neighbour: collect the face-adjacent finer leaves.
+            out.extend(self._finer_face_leaves(block.level, ni, nj, di, dj))
+        return out
+
+    def _finer_face_leaves(
+        self, level: int, i: int, j: int, di: int, dj: int
+    ) -> list[Block]:
+        """Leaves inside cell ``(level, i, j)`` touching the face shared
+        with the ``(-di, -dj)`` direction."""
+        out: list[Block] = []
+        stack = [(level, i, j)]
+        while stack:
+            l, ci, cj = stack.pop()
+            block = Block(l, ci, cj)
+            if block in self._leaves:
+                out.append(block)
+                continue
+            if l >= self.max_level:
+                continue
+            for child_i in (2 * ci, 2 * ci + 1):
+                for child_j in (2 * cj, 2 * cj + 1):
+                    # Keep only children on the shared face.
+                    if di == 1 and child_i != 2 * ci:
+                        continue
+                    if di == -1 and child_i != 2 * ci + 1:
+                        continue
+                    if dj == 1 and child_j != 2 * cj:
+                        continue
+                    if dj == -1 and child_j != 2 * cj + 1:
+                        continue
+                    stack.append((l + 1, child_i, child_j))
+        return out
+
+    # -- mutation ----------------------------------------------------------
+
+    def refine(self, block: Block) -> tuple[Block, ...]:
+        """Replace a leaf with its four children."""
+        if block not in self._leaves:
+            raise ValueError(f"{block} is not a leaf")
+        if block.level >= self.max_level:
+            raise ValueError(f"{block} is already at max_level")
+        self._leaves.discard(block)
+        children = block.children()
+        self._leaves.update(children)
+        return children
+
+    def coarsen(self, parent: Block) -> Block:
+        """Replace four sibling leaves with their parent."""
+        children = parent.children()
+        if not all(c in self._leaves for c in children):
+            raise ValueError(f"not all children of {parent} are leaves")
+        if parent.level < self.base_level:
+            raise ValueError("cannot coarsen below the base level")
+        for c in children:
+            self._leaves.discard(c)
+        self._leaves.add(parent)
+        return parent
+
+    def enforce_two_to_one(self) -> int:
+        """Refine until adjacent leaves differ by at most one level.
+
+        Returns the number of refinements performed.
+        """
+        refined = 0
+        changed = True
+        while changed:
+            changed = False
+            for block in list(self._leaves):
+                if block not in self._leaves:
+                    continue
+                for nb in self.neighbors(block):
+                    if block.level - nb.level > 1:
+                        self.refine(nb)
+                        refined += 1
+                        changed = True
+        return refined
+
+    def adapt(self, desired_level) -> dict[str, int]:
+        """Refine/coarsen toward ``desired_level(block) -> int``.
+
+        One adaptation step: every leaf whose desired level exceeds its
+        level refines once; sibling quartets that all want a coarser
+        level coarsen once; then the 2:1 constraint is restored.
+        Returns counts of each operation.
+        """
+        refined = 0
+        for block in list(self._leaves):
+            if block not in self._leaves:
+                continue
+            if block.level < self.max_level and desired_level(block) > block.level:
+                self.refine(block)
+                refined += 1
+
+        coarsened = 0
+        by_parent: dict[Block, list[Block]] = {}
+        for block in self._leaves:
+            if block.level > self.base_level:
+                by_parent.setdefault(block.parent(), []).append(block)
+        for parent, siblings in by_parent.items():
+            if len(siblings) == 4 and all(
+                desired_level(c) < c.level for c in siblings
+            ):
+                self.coarsen(parent)
+                coarsened += 1
+
+        balanced = self.enforce_two_to_one()
+        return {"refined": refined, "coarsened": coarsened, "balance_refined": balanced}
+
+    def total_area(self) -> float:
+        """Sum of leaf areas (must always be 1.0)."""
+        return sum(b.size * b.size for b in self._leaves)
+
+    def check_invariants(self) -> None:
+        """Raise if the leaf set is not a 2:1-balanced partition."""
+        if abs(self.total_area() - 1.0) > 1e-9:
+            raise AssertionError(f"leaves cover area {self.total_area()}, not 1.0")
+        for block in self._leaves:
+            for nb in self.neighbors(block):
+                if abs(block.level - nb.level) > 1:
+                    raise AssertionError(f"2:1 violated between {block} and {nb}")

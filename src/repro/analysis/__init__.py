@@ -1,0 +1,62 @@
+"""Experiment harness — the role LBAF plays in the paper.
+
+:mod:`repro.analysis.experiment` runs strategy/criterion studies and
+returns per-iteration tables; :mod:`repro.analysis.tables` renders them
+in the paper's format; :mod:`repro.analysis.series` collects the
+per-timestep series behind Fig. 4.
+"""
+
+from repro.analysis.experiment import (
+    CriterionStudy,
+    criterion_comparison,
+    criterion_study,
+    strategy_comparison,
+)
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    analyze_convergence,
+    iterations_to_reach,
+)
+from repro.analysis.io import (
+    load_json,
+    load_records,
+    load_series,
+    save_json,
+    save_records,
+    save_series,
+)
+from repro.analysis.plot import histogram, sparkline, strip_chart
+from repro.analysis.report import lb_report
+from repro.analysis.runner import SweepSpec, run_sweep
+from repro.analysis.series import PhaseSeries
+from repro.analysis.tables import (
+    format_comparison_table,
+    format_iteration_table,
+    format_rows,
+)
+
+__all__ = [
+    "ConvergenceSummary",
+    "CriterionStudy",
+    "PhaseSeries",
+    "analyze_convergence",
+    "iterations_to_reach",
+    "criterion_comparison",
+    "criterion_study",
+    "format_comparison_table",
+    "format_iteration_table",
+    "format_rows",
+    "histogram",
+    "lb_report",
+    "sparkline",
+    "strip_chart",
+    "load_json",
+    "load_records",
+    "load_series",
+    "save_json",
+    "save_records",
+    "save_series",
+    "strategy_comparison",
+    "SweepSpec",
+    "run_sweep",
+]

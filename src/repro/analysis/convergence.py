@@ -1,0 +1,83 @@
+"""Convergence analysis of iteration histories.
+
+Quantifies what the § V tables show qualitatively: how fast an
+imbalance sequence decays, where it stalls, and how many iterations a
+target imbalance costs. Works on any imbalance sequence (e.g.
+``CriterionStudy.imbalances()`` or ``[r.imbalance for r in result.records]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["ConvergenceSummary", "analyze_convergence", "iterations_to_reach"]
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Decay statistics of an imbalance sequence."""
+
+    initial: float
+    final: float
+    #: Geometric-mean per-iteration decay factor over the active phase
+    #: (1.0 = no progress; 0.1 = losing 90% of the excess per iteration).
+    decay_rate: float
+    #: First iteration index (1-based) after which relative progress per
+    #: iteration stays below ``stall_tol`` — None if it never stalls.
+    stalled_at: int | None
+    #: Total relative improvement ``1 - final/initial``.
+    improvement: float
+
+
+def analyze_convergence(
+    imbalances: np.ndarray | list[float], stall_tol: float = 0.01
+) -> ConvergenceSummary:
+    """Summarize an imbalance sequence ``[I_0, I_1, ..., I_n]``.
+
+    The decay rate is measured over iterations that made progress; the
+    stall point is the first iteration from which every later iteration
+    improves by less than ``stall_tol`` relative.
+    """
+    series = np.asarray(imbalances, dtype=np.float64)
+    if series.ndim != 1 or series.size < 2:
+        raise ValueError("need a 1-D sequence with at least two entries")
+    if (series < 0).any() or not np.isfinite(series).all():
+        raise ValueError("imbalances must be finite and non-negative")
+    initial, final = float(series[0]), float(series[-1])
+
+    ratios = []
+    for a, b in zip(series, series[1:]):
+        if a > 0:
+            ratios.append(min(b / a, 1.0))
+    decay = float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-12))))) if ratios else 1.0
+
+    stalled_at: int | None = None
+    for start in range(1, series.size):
+        window = series[start - 1 :]
+        rel = np.abs(np.diff(window)) / np.maximum(window[:-1], 1e-300)
+        if (rel < stall_tol).all():
+            stalled_at = start
+            break
+    improvement = 0.0 if initial == 0 else 1.0 - final / initial
+    return ConvergenceSummary(
+        initial=initial,
+        final=final,
+        decay_rate=decay,
+        stalled_at=stalled_at,
+        improvement=improvement,
+    )
+
+
+def iterations_to_reach(
+    imbalances: np.ndarray | list[float], target: float
+) -> int | None:
+    """First iteration index at which the sequence is at or below
+    ``target`` (0 = already there); None if it never gets there."""
+    check_positive("target", target)
+    series = np.asarray(imbalances, dtype=np.float64)
+    hits = np.flatnonzero(series <= target)
+    return int(hits[0]) if hits.size else None

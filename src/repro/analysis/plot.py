@@ -1,0 +1,117 @@
+"""Terminal plotting: sparklines, strip charts and histograms.
+
+Keeps the figure benches human-inspectable without a plotting stack:
+Fig. 4's series render as unicode sparklines / ASCII strip charts in
+the saved artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["sparkline", "strip_chart", "histogram"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
+
+
+def _clean(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    return arr[~np.isnan(arr)]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline; NaN entries render as spaces."""
+    arr = np.asarray(values, dtype=np.float64)
+    finite = _clean(arr)
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in arr:
+        if math.isnan(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_BLOCKS[0])
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def strip_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """A multi-series ASCII chart; each series gets a symbol.
+
+    Series are resampled to ``width`` columns; the y-axis is shared
+    (optionally log-scaled) and annotated with min/max.
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    if not series:
+        raise ValueError("need at least one series")
+    symbols = "*o+x@%&#"
+    resampled: dict[str, np.ndarray] = {}
+    lo, hi = np.inf, -np.inf
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=np.float64)
+        finite = _clean(arr)
+        if finite.size == 0:
+            continue
+        idx = np.linspace(0, arr.size - 1, width).astype(int)
+        col = arr[idx]
+        if logy:
+            col = np.where(col > 0, col, np.nan)
+            col = np.log10(col)
+        resampled[name] = col
+        finite_col = col[~np.isnan(col)]
+        if finite_col.size:
+            lo = min(lo, float(finite_col.min()))
+            hi = max(hi, float(finite_col.max()))
+    if not resampled or not np.isfinite(lo):
+        return "(no data)"
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, col) in enumerate(resampled.items()):
+        sym = symbols[k % len(symbols)]
+        for x, v in enumerate(col):
+            if math.isnan(v):
+                continue
+            y = int((v - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = sym
+    top_label = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    bot_label = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    lines = []
+    for row_index, row in enumerate(grid):
+        label = top_label if row_index == 0 else (bot_label if row_index == height - 1 else "")
+        lines.append(f"{label:>9} |{''.join(row)}|")
+    legend = "  ".join(
+        f"{symbols[k % len(symbols)]}={name}" for k, name in enumerate(resampled)
+    )
+    lines.append(" " * 11 + legend + ("  (log y)" if logy else ""))
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40) -> str:
+    """A horizontal ASCII histogram with counts."""
+    check_positive("bins", bins)
+    check_positive("width", width)
+    arr = _clean(values)
+    if arr.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{edges[i]:>9.3g}, {edges[i+1]:>9.3g}) {bar} {count}")
+    return "\n".join(lines)

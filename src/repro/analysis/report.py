@@ -1,0 +1,78 @@
+"""LB result reports — the "+LBDebug" role.
+
+:func:`lb_report` renders one :class:`~repro.core.base.LBResult` as a
+human-readable diagnostic: before/after statistics, load histograms,
+the worst ranks, migration summary, and the per-iteration history for
+the gossip strategies. Used by examples and available to downstream
+users chasing a balancing regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.plot import histogram, sparkline
+from repro.core.base import LBResult
+from repro.core.distribution import Distribution
+from repro.core.metrics import gini, load_statistics, sigma_imbalance
+
+__all__ = ["lb_report"]
+
+
+def lb_report(dist: Distribution, result: LBResult, top: int = 5) -> str:
+    """A multi-section text report for one balancing decision.
+
+    ``dist`` must be the distribution the strategy was invoked on.
+    """
+    if result.assignment.shape != dist.assignment.shape:
+        raise ValueError("result does not belong to this distribution")
+    before = dist.rank_loads()
+    after = np.bincount(result.assignment, weights=dist.task_loads, minlength=dist.n_ranks)
+
+    lines: list[str] = [f"=== {result.strategy} report ==="]
+    lines.append(
+        f"tasks: {dist.n_tasks}  ranks: {dist.n_ranks}  "
+        f"migrations: {result.n_migrations} "
+        f"({100.0 * result.n_migrations / max(dist.n_tasks, 1):.1f}% of tasks)"
+    )
+    for label, loads in (("before", before), ("after", after)):
+        stats = load_statistics(loads)
+        lines.append(
+            f"{label:>7}: I={stats.imbalance:9.4g}  sigma={sigma_imbalance(loads):7.4g}  "
+            f"gini={gini(loads):6.3f}  max={stats.maximum:9.4g}  min={stats.minimum:9.4g}"
+        )
+
+    lines.append("\nrank-load histogram before:")
+    lines.append(histogram(before, bins=8, width=30))
+    lines.append("\nrank-load histogram after:")
+    lines.append(histogram(after, bins=8, width=30))
+
+    worst = np.argsort(-after)[:top]
+    lines.append(f"\nheaviest {top} ranks after balancing:")
+    for rank in worst:
+        delta = after[rank] - before[rank]
+        lines.append(
+            f"  rank {int(rank):>5}: {after[rank]:9.4g}  (was {before[rank]:9.4g}, "
+            f"{delta:+9.4g})"
+        )
+
+    if result.records:
+        imbalances = [r.imbalance for r in result.records]
+        lines.append(
+            f"\niteration history ({len(result.records)} stages): "
+            f"{sparkline(imbalances)}"
+        )
+        lines.append(
+            "  transfers per stage: "
+            + " ".join(str(r.transfers) for r in result.records[:16])
+            + (" ..." if len(result.records) > 16 else "")
+        )
+        final_rate = result.records[-1].rejection_rate
+        lines.append(f"  final-stage rejection rate: {final_rate:.1f}%")
+    if result.extra:
+        interesting = {
+            k: v for k, v in result.extra.items() if isinstance(v, (int, float, str))
+        }
+        if interesting:
+            lines.append("\nextra: " + ", ".join(f"{k}={v}" for k, v in interesting.items()))
+    return "\n".join(lines)

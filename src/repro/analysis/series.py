@@ -1,0 +1,70 @@
+"""Per-phase time series collection (the data behind Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["PhaseSeries"]
+
+
+@dataclass
+class PhaseSeries:
+    """Append-only record of per-phase scalar metrics.
+
+    Each call to :meth:`record` appends one phase's values; any metric
+    omitted in a phase is stored as ``nan`` so series stay aligned.
+    """
+
+    metrics: dict[str, list[float]] = field(default_factory=dict)
+    n_phases: int = 0
+
+    def record(self, **values: float) -> None:
+        """Append one phase with the given metric values."""
+        for key in self.metrics:
+            self.metrics[key].append(float(values.pop(key)) if key in values else np.nan)
+        for key, value in values.items():
+            # New metric: backfill earlier phases with nan.
+            self.metrics[key] = [np.nan] * self.n_phases + [float(value)]
+        self.n_phases += 1
+
+    def series(self, key: str) -> np.ndarray:
+        """One metric as an array of length ``n_phases``."""
+        return np.asarray(self.metrics[key], dtype=np.float64)
+
+    def keys(self) -> list[str]:
+        """Metric names recorded so far."""
+        return list(self.metrics)
+
+    def window(self, key: str, start: int, stop: int) -> np.ndarray:
+        """A phase-range slice of one metric."""
+        return self.series(key)[start:stop]
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Mean/min/max per metric, ignoring nan entries."""
+        out: dict[str, dict[str, float]] = {}
+        for key in self.metrics:
+            arr = self.series(key)
+            valid = arr[~np.isnan(arr)]
+            if valid.size == 0:
+                out[key] = {"mean": np.nan, "min": np.nan, "max": np.nan, "sum": 0.0}
+            else:
+                out[key] = {
+                    "mean": float(valid.mean()),
+                    "min": float(valid.min()),
+                    "max": float(valid.max()),
+                    "sum": float(valid.sum()),
+                }
+        return out
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """One dict per phase (for table rendering or CSV export)."""
+        rows = []
+        for i in range(self.n_phases):
+            row: dict[str, Any] = {"phase": i}
+            for key in self.metrics:
+                row[key] = self.metrics[key][i]
+            rows.append(row)
+        return rows

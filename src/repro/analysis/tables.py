@@ -1,0 +1,77 @@
+"""Paper-style table rendering for the § V studies and Fig. 3."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.base import IterationRecord
+
+__all__ = ["format_iteration_table", "format_comparison_table", "format_rows"]
+
+
+def format_iteration_table(
+    records: Sequence[IterationRecord], initial_imbalance: float, title: str = ""
+) -> str:
+    """Render the § V-B / § V-D per-iteration table.
+
+    Columns: Iteration, Transfers, Rejected, Rejection rate (%), Imbalance.
+    Iteration 0 is the initial state (dashes, like the paper).
+    """
+    header = f"{'Iter':>4}  {'Transfers':>10}  {'Rejected':>10}  {'Rej. rate (%)':>14}  {'Imbalance':>12}"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    lines.append(f"{0:>4}  {'-':>10}  {'-':>10}  {'-':>14}  {initial_imbalance:>12.4g}")
+    for r in records:
+        lines.append(
+            f"{r.iteration:>4}  {r.transfers:>10}  {r.rejections:>10}  "
+            f"{r.rejection_rate:>14.2f}  {r.imbalance:>12.4g}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    studies: Mapping[str, "object"], title: str = "Imbalance per iteration"
+) -> str:
+    """Render the criterion-comparison table (one imbalance column per study).
+
+    ``studies`` maps column label to a :class:`~repro.analysis.experiment.CriterionStudy`.
+    """
+    labels = list(studies)
+    series = {label: studies[label].imbalances() for label in labels}  # type: ignore[attr-defined]
+    n_rows = max(len(s) for s in series.values())
+    header = f"{'Iter':>4}  " + "  ".join(f"{label:>16}" for label in labels)
+    lines = [title, header, "-" * len(header)]
+    for i in range(n_rows):
+        cells = []
+        for label in labels:
+            vals = series[label]
+            cells.append(f"{vals[i]:>16.4g}" if i < len(vals) else f"{'-':>16}")
+        lines.append(f"{i:>4}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str], title: str = ""
+) -> str:
+    """Generic fixed-width table (used by the Fig. 2/3 benches)."""
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append("  ".join(f"{_fmt(r.get(c)):>{widths[c]}}" for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

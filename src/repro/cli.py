@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``
+    Run the § V criterion study on a synthetic scenario and print the
+    per-iteration table (optionally both criteria side by side).
+``empire``
+    Run one EMPIRE surrogate configuration and print the Fig. 3-style
+    breakdown plus speedups against an SPMD run of the same scenario.
+``protocols``
+    Measure event-level protocol costs (allreduce, gossip, migration)
+    at a given rank count.
+``version``
+    Print the package version.
+
+All commands accept ``--json PATH`` to additionally write
+machine-readable results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TemperedLB reproduction (CLUSTER 2021) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="§ V criterion iteration study")
+    p.add_argument("--criterion", choices=["original", "relaxed", "both"], default="both")
+    p.add_argument("--tasks", type=int, default=2500)
+    p.add_argument("--loaded-ranks", type=int, default=8)
+    p.add_argument("--ranks", type=int, default=512)
+    p.add_argument("--iters", type=int, default=10)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--json", type=str, default=None)
+
+    p = sub.add_parser("empire", help="EMPIRE surrogate run")
+    p.add_argument(
+        "--config",
+        dest="configuration",
+        default="tempered",
+        help="spmd | amt | grapevine | greedy | hier | tempered | rcb",
+    )
+    p.add_argument("--ranks", type=int, default=100)
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--lb-period", type=int, default=50)
+    p.add_argument("--particles", type=int, default=10_000)
+    p.add_argument("--trials", type=int, default=1)
+    p.add_argument("--iters", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", type=str, default=None)
+
+    p = sub.add_parser("protocols", help="event-level protocol cost measurement")
+    p.add_argument("--ranks", type=int, default=64)
+    p.add_argument("--fanout", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=6)
+    p.add_argument("--json", type=str, default=None)
+
+    p = sub.add_parser("sweep", help="run a declarative sweep from a JSON spec file")
+    p.add_argument("spec", type=str, help="path to a SweepSpec JSON file")
+    p.add_argument("--json", type=str, default=None)
+
+    p = sub.add_parser("trace", help="trace one LB episode and print a Gantt chart")
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--tasks-per-rank", type=int, default=6)
+    p.add_argument("--width", type=int, default=64)
+
+    p = sub.add_parser("amr", help="run the AMR mini-app mapping study")
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--phases", type=int, default=24)
+    p.add_argument("--mapping", choices=["sfc", "balancer"], default="balancer")
+    p.add_argument("--json", type=str, default=None)
+
+    sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "analyze": _cmd_analyze,
+        "amr": _cmd_amr,
+        "empire": _cmd_empire,
+        "protocols": _cmd_protocols,
+        "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "version": _cmd_version,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    import repro
+
+    print(repro.__version__)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        criterion_comparison,
+        criterion_study,
+        format_comparison_table,
+        format_iteration_table,
+    )
+    from repro.analysis.io import save_json
+    from repro.workloads import paper_analysis_scenario
+
+    dist = paper_analysis_scenario(
+        n_tasks=args.tasks,
+        n_loaded_ranks=args.loaded_ranks,
+        n_ranks=args.ranks,
+        seed=args.seed,
+    )
+    print(
+        f"scenario: {args.tasks} tasks on {args.loaded_ranks} of "
+        f"{args.ranks} ranks, I0 = {dist.imbalance():.2f}\n"
+    )
+    if args.criterion == "both":
+        studies = criterion_comparison(dist, n_iters=args.iters, seed=args.seed)
+        print(
+            format_comparison_table(
+                {"Criterion 35": studies["original"], "Criterion 37": studies["relaxed"]}
+            )
+        )
+        payload = {
+            name: [r.imbalance for r in study.records]
+            for name, study in studies.items()
+        }
+    else:
+        study = criterion_study(dist, args.criterion, n_iters=args.iters, rng=args.seed)
+        print(
+            format_iteration_table(
+                study.records, study.initial_imbalance, title=f"criterion: {args.criterion}"
+            )
+        )
+        payload = {args.criterion: [r.imbalance for r in study.records]}
+    if args.json:
+        save_json(payload, args.json)
+    return 0
+
+
+def _cmd_empire(args: argparse.Namespace) -> int:
+    from repro.analysis import format_rows
+    from repro.analysis.io import save_json
+    from repro.empire import EmpireConfig, run_empire
+
+    base = EmpireConfig(
+        configuration=args.configuration,
+        n_ranks=args.ranks,
+        n_steps=args.steps,
+        lb_period=args.lb_period,
+        initial_particles=args.particles,
+        injection_per_step=max(args.particles // 100, 1),
+        n_trials=args.trials,
+        n_iters=args.iters,
+        seed=args.seed,
+    )
+    run = run_empire(base)
+    rows = [run.breakdown()]
+    if args.configuration != "spmd":
+        spmd = run_empire(base.with_configuration("spmd"))
+        rows.append(spmd.breakdown())
+        print(
+            f"particle speedup vs SPMD: {spmd.t_particle / run.t_particle:.2f}x, "
+            f"total: {spmd.t_total / run.t_total:.2f}x\n"
+        )
+    print(format_rows(rows, ["Type", "t_n", "t_p", "t_lb", "t_total"]))
+    if args.json:
+        save_json(rows, args.json)
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    from repro.analysis import format_rows
+    from repro.analysis.io import save_json
+    from repro.runtime.distributed_gossip import DistributedGossip
+    from repro.sim.process import System
+    from repro.sim.reductions import allreduce
+
+    n = args.ranks
+    sys_ = System(n)
+    times: dict[int, float] = {}
+    allreduce(
+        sys_,
+        [1.0] * n,
+        combine=lambda a, b: a + b,
+        on_complete=lambda rank, v: times.__setitem__(rank, sys_.engine.now),
+    )
+    sys_.run()
+
+    sys2 = System(n)
+    loads = np.ones(n)
+    loads[: max(2, n // 16)] = 20.0
+    gossip = DistributedGossip(
+        sys2, loads, fanout=args.fanout, rounds=args.rounds
+    ).run()
+
+    rows = [
+        {
+            "P": n,
+            "allreduce (us)": max(times.values()) * 1e6,
+            "gossip (us)": gossip.elapsed * 1e6,
+            "gossip msgs": gossip.n_messages,
+            "coverage": gossip.knowledge.coverage(gossip.underloaded),
+        }
+    ]
+    print(format_rows(rows, list(rows[0].keys())))
+    if args.json:
+        save_json(rows, args.json)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_rows
+    from repro.analysis.io import load_json, save_json
+    from repro.analysis.runner import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_dict(load_json(args.spec))
+    rows = run_sweep(spec)
+    printable = [{k: v for k, v in row.items() if k != "raw"} for row in rows]
+    print(
+        format_rows(
+            printable,
+            ["workload", "strategy", "initial I", "final I", "final I std", "migrations"],
+            title=f"sweep over {len(spec.seeds)} seeds",
+        )
+    )
+    if args.json:
+        save_json(rows, args.json)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.tempered import TemperedConfig
+    from repro.runtime import AMTRuntime, LBManager
+    from repro.sim.trace import Tracer
+
+    n_ranks = args.ranks
+    rng = np.random.default_rng(0)
+    n_tasks = n_ranks * args.tasks_per_rank
+    task_loads = rng.gamma(4.0, 0.002, size=n_tasks)
+    assignment = np.zeros(n_tasks, dtype=np.int64)
+    runtime = AMTRuntime(n_ranks, task_loads, assignment, task_overhead=1e-5)
+    tracer = Tracer(runtime.system)
+    phase = runtime.execute_phase()
+    episode = LBManager(
+        runtime, TemperedConfig(n_trials=1, n_iters=3, fanout=4, rounds=4), seed=1
+    ).run_episode()
+    runtime.execute_phase()
+
+    print(f"phase 0 imbalanced (I={phase.imbalance():.1f}), LB episode "
+          f"({episode.n_migrations} migrations, t_lb={episode.t_lb*1e3:.2f} ms), "
+          f"phase 1 balanced (I={episode.final_imbalance:.2f})\n")
+    print("per-rank CPU activity (# = busy):")
+    print(tracer.gantt(width=args.width))
+    print("\nmessages by tag (application traffic only):")
+    for tag, count in sorted(tracer.messages_by_tag().items()):
+        print(f"  {tag:<20} {count:>6}")
+    util = tracer.utilization()
+    print(f"\nmean utilization: {util.mean():.2f} "
+          f"(min {util.min():.2f}, max {util.max():.2f})")
+    return 0
+
+
+def _cmd_amr(args: argparse.Namespace) -> int:
+    from repro.amr import AMRConfig, AMRSimulation
+    from repro.analysis import format_rows
+    from repro.analysis.io import save_json
+
+    sim = AMRSimulation(
+        AMRConfig(
+            n_ranks=args.ranks,
+            n_phases=args.phases,
+            mapping=args.mapping,
+            load_noise=0.5,
+        )
+    )
+    records = sim.run()
+    rows = [
+        {
+            "phase": r.phase,
+            "blocks": r.n_blocks,
+            "imbalance": r.imbalance,
+            "migrations": r.migrations,
+        }
+        for r in records
+        if r.phase % max(args.phases // 8, 1) == 0
+    ]
+    print(format_rows(rows, ["phase", "blocks", "imbalance", "migrations"],
+                      title=f"AMR mapping study ({args.mapping})"))
+    if args.json:
+        save_json(rows, args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

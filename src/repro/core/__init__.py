@@ -1,0 +1,79 @@
+"""The paper's contribution: distributed gossip-based load balancing.
+
+Phase-level implementations of Algorithms 1–6 of the paper plus the
+GreedyLB / HierLB baselines. The event-level (message-by-message)
+implementation of the inform stage lives in
+:mod:`repro.runtime.distributed_gossip`.
+"""
+
+from repro.core.base import IterationRecord, LBResult, LoadBalancer
+from repro.core.baselines import RandomLB, RotateLB
+from repro.core.cmf import CMF_MODIFIED, CMF_ORIGINAL, build_cmf, sample_cmf
+from repro.core.comm import CommAwareLB, CommGraph
+from repro.core.criteria import (
+    CRITERION_ORIGINAL,
+    CRITERION_RELAXED,
+    evaluate_criterion,
+)
+from repro.core.distribution import Distribution
+from repro.core.gossip import GossipConfig, GossipResult, run_inform_stage
+from repro.core.grapevine import GrapevineLB
+from repro.core.greedy import GreedyLB
+from repro.core.hier import HierLB
+from repro.core.knowledge import KnowledgeBitmap
+from repro.core.metrics import (
+    LoadStatistics,
+    imbalance,
+    load_statistics,
+    objective,
+)
+from repro.core.ordering import (
+    ORDERINGS,
+    order_arbitrary,
+    order_fewest_migrations,
+    order_lightest,
+    order_load_intensive,
+)
+from repro.core.refinement import RefinementResult, iterative_refinement
+from repro.core.tempered import TemperedConfig, TemperedLB
+from repro.core.transfer import TransferStats, transfer_stage
+
+__all__ = [
+    "CMF_MODIFIED",
+    "CMF_ORIGINAL",
+    "CRITERION_ORIGINAL",
+    "CommAwareLB",
+    "CommGraph",
+    "CRITERION_RELAXED",
+    "Distribution",
+    "GossipConfig",
+    "GossipResult",
+    "GrapevineLB",
+    "GreedyLB",
+    "HierLB",
+    "IterationRecord",
+    "KnowledgeBitmap",
+    "LBResult",
+    "LoadBalancer",
+    "LoadStatistics",
+    "ORDERINGS",
+    "RandomLB",
+    "RefinementResult",
+    "RotateLB",
+    "TemperedConfig",
+    "TemperedLB",
+    "TransferStats",
+    "build_cmf",
+    "evaluate_criterion",
+    "imbalance",
+    "iterative_refinement",
+    "load_statistics",
+    "objective",
+    "order_arbitrary",
+    "order_fewest_migrations",
+    "order_lightest",
+    "order_load_intensive",
+    "run_inform_stage",
+    "sample_cmf",
+    "transfer_stage",
+]

@@ -1,0 +1,47 @@
+"""Trivial baselines from the Charm++ balancer suite.
+
+Useful as floors/controls in experiments: :class:`RandomLB` scatters
+tasks uniformly (what balancing buys over chance), :class:`RotateLB`
+shifts every task to the next rank (pure migration churn with zero
+balance change — a cost-model probe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LBResult, LoadBalancer
+from repro.core.distribution import Distribution
+from repro.util.validation import coerce_rng
+
+__all__ = ["RandomLB", "RotateLB"]
+
+
+class RandomLB(LoadBalancer):
+    """Uniform random placement, ignoring loads entirely."""
+
+    name = "RandomLB"
+
+    def rebalance(
+        self, dist: Distribution, rng: np.random.Generator | int | None = None
+    ) -> LBResult:
+        rng = coerce_rng(rng)
+        assignment = rng.integers(0, dist.n_ranks, size=dist.n_tasks)
+        return self._make_result(dist, assignment)
+
+
+class RotateLB(LoadBalancer):
+    """Move every task to the next rank (mod P).
+
+    Leaves the load *distribution* exactly as imbalanced as before while
+    migrating 100% of the tasks — the worst possible cost/benefit, which
+    makes it a clean probe for migration cost models.
+    """
+
+    name = "RotateLB"
+
+    def rebalance(
+        self, dist: Distribution, rng: np.random.Generator | int | None = None
+    ) -> LBResult:
+        assignment = (dist.assignment + 1) % dist.n_ranks
+        return self._make_result(dist, assignment)

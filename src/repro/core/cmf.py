@@ -1,0 +1,80 @@
+"""Algorithm 2, BUILDCMF — recipient-selection distributions.
+
+An overloaded rank picks the recipient of each candidate transfer by
+sampling a cumulative mass function over the underloaded ranks it knows.
+A rank's probability mass is proportional to its *known* load headroom
+``1 - LOAD^p(i) / l_s``:
+
+``original`` (GrapevineLB)
+    ``l_s = l_ave``. Well-defined only while every known load is below
+    the average — true at inform time, but violated once the sender's
+    own bookkeeping pushes a recipient past the average.
+
+``modified`` (TemperedLB, § V-C)
+    ``l_s = max(l_ave, max LOAD^p)``. Keeps every mass non-negative when
+    the relaxed criterion lets recipients exceed the average; ranks at
+    exactly ``l_s`` get zero mass.
+
+TemperedLB additionally *recomputes* the CMF after every accepted
+transfer (Alg. 2 l.7) so the updated knowledge steers later picks; the
+original computes it once (l.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_in
+
+__all__ = ["CMF_ORIGINAL", "CMF_MODIFIED", "build_cmf", "sample_cmf"]
+
+CMF_ORIGINAL = "original"
+CMF_MODIFIED = "modified"
+
+
+def build_cmf(
+    known_loads: np.ndarray, l_ave: float, variant: str = CMF_MODIFIED
+) -> np.ndarray | None:
+    """Build the CMF ``F`` over known underloaded ranks (Alg. 2 l.21-31).
+
+    Parameters
+    ----------
+    known_loads:
+        ``LOAD^p`` — the sender's current knowledge of each candidate's
+        load, aligned with its candidate list.
+    l_ave:
+        Global average rank load from the statistics all-reduce.
+    variant:
+        ``"original"`` or ``"modified"``.
+
+    Returns
+    -------
+    The cumulative masses (last entry 1.0), or ``None`` when no candidate
+    has positive mass (e.g. empty candidate list, or every known load at
+    or above ``l_s``) — the caller must then stop transferring.
+    """
+    check_in("cmf", variant, (CMF_ORIGINAL, CMF_MODIFIED))
+    loads = np.asarray(known_loads, dtype=np.float64)
+    if loads.size == 0:
+        return None
+    if variant == CMF_ORIGINAL:
+        l_s = l_ave
+    else:
+        l_s = max(l_ave, float(loads.max()))
+    if l_s <= 0.0:
+        return None
+    # Negative masses can only arise in the original variant once a known
+    # load exceeds l_ave; clip so such ranks simply receive zero mass.
+    masses = np.clip(1.0 - loads / l_s, 0.0, None)
+    z = masses.sum()
+    if z <= 0.0:
+        return None
+    cmf = np.cumsum(masses / z)
+    cmf[-1] = 1.0  # guard against rounding drift
+    return cmf
+
+
+def sample_cmf(cmf: np.ndarray, rng: np.random.Generator) -> int:
+    """Sample a candidate index from a CMF built by :func:`build_cmf`."""
+    u = rng.random()
+    return int(np.searchsorted(cmf, u, side="right"))

@@ -1,0 +1,319 @@
+"""Algorithm 1 — the inform/gossip stage, phase level.
+
+Underloaded ranks seed knowledge of their own load and gossip it for
+``k`` rounds with fanout ``f``. Receivers merge the incoming knowledge
+into ``S^p`` and forward it to ranks sampled from ``P \\ S^p``.
+
+Two propagation modes are provided:
+
+``coalesced`` (default)
+    A rank that received one or more messages in round ``r`` forwards
+    its *merged* knowledge once (``f`` messages) in round ``r+1``. This
+    is what practical implementations (Charm++ GrapevineLB, DARMA/vt)
+    do and bounds traffic at ``O(P f k)`` messages.
+
+``per_message``
+    The literal pseudocode: every received message with ``r < k``
+    triggers ``f`` forwards, i.e. up to ``f^k`` messages. Provided for
+    fidelity experiments at small scale; guarded by ``max_messages``.
+
+The event-level asynchronous version (messages with latencies, no round
+barrier, termination detection) lives in
+:mod:`repro.runtime.distributed_gossip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.knowledge import KnowledgeBitmap
+from repro.util.validation import check_in, check_positive, coerce_rng
+
+__all__ = ["GossipConfig", "GossipResult", "GossipExplosionError", "run_inform_stage"]
+
+#: Bytes for one (rank id, load) knowledge entry on the wire.
+ENTRY_BYTES = 16
+#: Fixed per-message envelope bytes (header, round counter).
+HEADER_BYTES = 32
+
+
+class GossipExplosionError(RuntimeError):
+    """Raised when ``per_message`` mode exceeds its message budget."""
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Inform-stage parameters (symbols of the paper's notation table)."""
+
+    fanout: int = 6  #: f — gossip fanout factor
+    rounds: int = 10  #: k — number of gossip rounds
+    mode: str = "coalesced"  #: "coalesced" or "per_message"
+    avoid_known: bool = True  #: sample forward targets from P \ S^p (l.20)
+    max_messages: int = 2_000_000  #: safety cap for per_message mode
+    #: Cap on |S^p| — the limited-information variant of the paper's
+    #: § IV-B footnote (O(P) knowledge lists are a scalability pitfall).
+    #: None = unlimited.
+    max_known: int | None = None
+    #: What to keep when the cap is hit: "random" (a uniform subset —
+    #: keeps different ranks' knowledge decorrelated, which matters: if
+    #: every sender kept the same globally-lowest ranks they would all
+    #: dump onto the same recipients) or "lowest" (most headroom, but
+    #: correlated across senders).
+    trim_policy: str = "random"
+    #: Topology awareness (§ I's NUMA/hierarchical networks): ranks are
+    #: blocked onto nodes of this size; each gossip message targets a
+    #: same-node candidate with probability ``intra_node_bias``. 1 rank
+    #: per node = flat topology (the paper's algorithm).
+    ranks_per_node: int = 1
+    intra_node_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("fanout", self.fanout)
+        check_positive("rounds", self.rounds)
+        check_in("mode", self.mode, ("coalesced", "per_message"))
+        check_positive("max_messages", self.max_messages)
+        if self.max_known is not None:
+            check_positive("max_known", self.max_known)
+        check_in("trim_policy", self.trim_policy, ("random", "lowest"))
+        check_positive("ranks_per_node", self.ranks_per_node)
+        if not 0.0 <= self.intra_node_bias <= 1.0:
+            raise ValueError("intra_node_bias must be in [0, 1]")
+
+
+@dataclass
+class GossipResult:
+    """Outcome of one inform stage."""
+
+    knowledge: KnowledgeBitmap
+    underloaded: np.ndarray  #: boolean mask, True where l^p < l_ave
+    load_snapshot: np.ndarray  #: rank loads at inform time
+    average_load: float
+    n_messages: int = 0
+    bytes_sent: int = 0
+    inter_node_messages: int = 0  #: messages crossing node boundaries
+    rounds_run: int = 0
+    per_round_messages: list[int] = field(default_factory=list)
+
+    def coverage(self) -> float:
+        """Mean fraction of underloaded ranks known per rank."""
+        return self.knowledge.coverage(self.underloaded)
+
+
+def _sample_targets(
+    rng: np.random.Generator,
+    candidates: np.ndarray,
+    fanout: int,
+    sender: int | None = None,
+    config: "GossipConfig | None" = None,
+) -> np.ndarray:
+    """Pick up to ``fanout`` distinct targets from ``candidates``.
+
+    With topology bias configured, each slot draws from the sender's
+    same-node candidates with probability ``intra_node_bias`` first,
+    falling back to the global pool.
+    """
+    if candidates.size == 0:
+        return candidates
+    if candidates.size <= fanout:
+        return candidates
+    if (
+        config is None
+        or sender is None
+        or config.intra_node_bias == 0.0
+        or config.ranks_per_node <= 1
+    ):
+        return rng.choice(candidates, size=fanout, replace=False)
+    node = sender // config.ranks_per_node
+    local = candidates[candidates // config.ranks_per_node == node]
+    picked: list[int] = []
+    for _ in range(fanout):
+        use_local = local.size > 0 and rng.random() < config.intra_node_bias
+        source = local if use_local else candidates
+        available = source[~np.isin(source, picked)] if picked else source
+        if available.size == 0:
+            available = candidates[~np.isin(candidates, picked)]
+            if available.size == 0:
+                break
+        picked.append(int(rng.choice(available)))
+    return np.asarray(picked, dtype=np.int64)
+
+
+def run_inform_stage(
+    rank_loads: np.ndarray,
+    config: GossipConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+    average_load: float | None = None,
+) -> GossipResult:
+    """Execute Algorithm 1 over all ranks and return the gathered knowledge.
+
+    Parameters
+    ----------
+    rank_loads:
+        Current per-rank loads :math:`\\ell^p` (length ``P``).
+    config:
+        Gossip parameters; defaults to the paper's ``f=6, k=10``.
+    rng:
+        Seed or generator driving the random target selection.
+    average_load:
+        :math:`\\ell_{ave}`; computed from ``rank_loads`` when omitted
+        (models the constant-size statistics all-reduce).
+    """
+    config = config or GossipConfig()
+    rng = coerce_rng(rng)
+    loads = np.ascontiguousarray(rank_loads, dtype=np.float64)
+    n_ranks = loads.size
+    if n_ranks == 0:
+        raise ValueError("rank_loads must be non-empty")
+    if not np.isfinite(loads).all():
+        raise ValueError("rank loads must be finite (no NaN/inf)")
+    l_ave = float(loads.mean()) if average_load is None else float(average_load)
+
+    underloaded = loads < l_ave
+    know = KnowledgeBitmap(n_ranks)
+    result = GossipResult(
+        knowledge=know,
+        underloaded=underloaded,
+        load_snapshot=loads.copy(),
+        average_load=l_ave,
+    )
+    seeds = np.flatnonzero(underloaded)
+    if seeds.size == 0:
+        return result
+    know.add_self(seeds)
+
+    if config.mode == "coalesced":
+        _run_coalesced(know, seeds, config, rng, result)
+    else:
+        _run_per_message(know, seeds, config, rng, result)
+    return result
+
+
+def _record_send(
+    result: GossipResult,
+    payload_entries: int,
+    sender: int | None = None,
+    target: int | None = None,
+    config: GossipConfig | None = None,
+) -> None:
+    result.n_messages += 1
+    result.bytes_sent += HEADER_BYTES + ENTRY_BYTES * payload_entries
+    result.per_round_messages[-1] += 1
+    if sender is not None and target is not None and config is not None:
+        if sender // config.ranks_per_node != target // config.ranks_per_node:
+            result.inter_node_messages += 1
+
+
+def _trim_knowledge(
+    row: np.ndarray,
+    loads: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+) -> None:
+    """Enforce the ``max_known`` cap on one knowledge row in place."""
+    if config.max_known is None:
+        return
+    known = np.flatnonzero(row)
+    if known.size <= config.max_known:
+        return
+    if config.trim_policy == "lowest":
+        keep = known[np.argsort(loads[known], kind="stable")[: config.max_known]]
+    else:
+        keep = rng.choice(known, size=config.max_known, replace=False)
+    row[:] = False
+    row[keep] = True
+
+
+def _run_coalesced(
+    know: KnowledgeBitmap,
+    seeds: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+    result: GossipResult,
+) -> None:
+    n_ranks = know.n_ranks
+    all_ranks = np.arange(n_ranks)
+    senders = seeds
+    initiating = True
+    for round_index in range(1, config.rounds + 1):
+        result.per_round_messages.append(0)
+        result.rounds_run = round_index
+        # Snapshot sender rows: a round-r message carries knowledge as of
+        # its send time, not knowledge merged later in the same round.
+        snapshot = know.rows[senders].copy()
+        received = np.zeros(n_ranks, dtype=bool)
+        for row, sender in zip(snapshot, senders):
+            if initiating and not config.avoid_known:
+                candidates = all_ranks[all_ranks != sender]
+            elif initiating:
+                # Alg. 1 l.10 samples from all of P; we still exclude self.
+                candidates = all_ranks[all_ranks != sender]
+            else:
+                candidates = (
+                    know.unknown_targets(sender)
+                    if config.avoid_known
+                    else all_ranks[all_ranks != sender]
+                )
+            targets = _sample_targets(rng, candidates, config.fanout, int(sender), config)
+            entries = int(row.sum())
+            for target in targets:
+                know.merge(int(target), row)
+                _trim_knowledge(know.rows[target], result.load_snapshot, config, rng)
+                received[target] = True
+                _record_send(result, entries, int(sender), int(target), config)
+        initiating = False
+        senders = np.flatnonzero(received)
+        if senders.size == 0:
+            break
+
+
+def _run_per_message(
+    know: KnowledgeBitmap,
+    seeds: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+    result: GossipResult,
+) -> None:
+    n_ranks = know.n_ranks
+    all_ranks = np.arange(n_ranks)
+    # Wave of in-flight messages: (target, payload_row, round_index).
+    wave: list[tuple[int, np.ndarray, int]] = []
+    result.per_round_messages.append(0)
+    result.rounds_run = 1
+    for sender in seeds:
+        candidates = all_ranks[all_ranks != sender]
+        for target in _sample_targets(rng, candidates, config.fanout, int(sender), config):
+            payload = know.rows[sender].copy()
+            wave.append((int(target), payload, 1))
+            _record_send(result, int(payload.sum()), int(sender), int(target), config)
+            if result.n_messages > config.max_messages:
+                raise GossipExplosionError(
+                    f"per_message gossip exceeded {config.max_messages} messages; "
+                    "use mode='coalesced' or reduce fanout/rounds"
+                )
+    while wave:
+        next_wave: list[tuple[int, np.ndarray, int]] = []
+        result.per_round_messages.append(0)
+        for target, payload, round_index in wave:
+            know.merge(target, payload)
+            _trim_knowledge(know.rows[target], result.load_snapshot, config, rng)
+            if round_index < config.rounds:
+                result.rounds_run = max(result.rounds_run, round_index + 1)
+                candidates = (
+                    know.unknown_targets(target)
+                    if config.avoid_known
+                    else all_ranks[all_ranks != target]
+                )
+                forwarded = know.rows[target].copy()
+                for nxt in _sample_targets(rng, candidates, config.fanout, int(target), config):
+                    next_wave.append((int(nxt), forwarded, round_index + 1))
+                    _record_send(result, int(forwarded.sum()), int(target), int(nxt), config)
+                    if result.n_messages > config.max_messages:
+                        raise GossipExplosionError(
+                            f"per_message gossip exceeded {config.max_messages} "
+                            "messages; use mode='coalesced' or reduce fanout/rounds"
+                        )
+        wave = next_wave
+    if result.per_round_messages and result.per_round_messages[-1] == 0:
+        result.per_round_messages.pop()

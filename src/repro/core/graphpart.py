@@ -1,0 +1,214 @@
+"""Graph partitioning: BFS region growth + Kernighan–Lin refinement.
+
+The role Zoltan/ParMetis play in the paper's § I–II discussion: cut a
+weighted (dual) graph into balanced, low-cut, mostly contiguous parts.
+Used by the unstructured-mesh substrate to build the SPMD decomposition
+and the per-rank color chunks. Self-contained CSR-style implementation
+(no graph library needed).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.util.validation import check_positive, coerce_rng
+
+__all__ = ["AdjacencyGraph", "grow_partition", "refine_partition", "edge_cut"]
+
+
+class AdjacencyGraph:
+    """An undirected graph in CSR form with vertex and edge weights."""
+
+    def __init__(
+        self,
+        n_vertices: int,
+        edges: np.ndarray,
+        edge_weights: np.ndarray | None = None,
+        vertex_weights: np.ndarray | None = None,
+    ) -> None:
+        check_positive("n_vertices", n_vertices)
+        self.n_vertices = int(n_vertices)
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size and (edges.min() < 0 or edges.max() >= n_vertices):
+            raise ValueError("edge endpoints out of range")
+        if edges.size and (edges[:, 0] == edges[:, 1]).any():
+            raise ValueError("self-loops are not allowed")
+        if edge_weights is None:
+            edge_weights = np.ones(len(edges))
+        edge_weights = np.asarray(edge_weights, dtype=np.float64)
+        if edge_weights.shape != (len(edges),):
+            raise ValueError("need one weight per edge")
+        if vertex_weights is None:
+            vertex_weights = np.ones(n_vertices)
+        self.vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+        if self.vertex_weights.shape != (self.n_vertices,):
+            raise ValueError("need one weight per vertex")
+
+        # Build CSR: duplicate each undirected edge in both directions.
+        src = np.concatenate([edges[:, 0], edges[:, 1]])
+        dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        w = np.concatenate([edge_weights, edge_weights])
+        order = np.argsort(src, kind="stable")
+        self._dst = dst[order]
+        self._w = w[order]
+        counts = np.bincount(src, minlength=self.n_vertices)
+        self._offsets = np.concatenate([[0], np.cumsum(counts)])
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbor ids, edge weights)`` of vertex ``v``."""
+        lo, hi = self._offsets[v], self._offsets[v + 1]
+        return self._dst[lo:hi], self._w[lo:hi]
+
+    @property
+    def total_vertex_weight(self) -> float:
+        return float(self.vertex_weights.sum())
+
+
+def edge_cut(graph: AdjacencyGraph, parts: np.ndarray) -> float:
+    """Total weight of edges crossing part boundaries."""
+    parts = np.asarray(parts)
+    total = 0.0
+    for v in range(graph.n_vertices):
+        nbrs, weights = graph.neighbors(v)
+        crossing = parts[nbrs] != parts[v]
+        total += float(weights[crossing].sum())
+    return total / 2.0  # each undirected edge visited twice
+
+
+def grow_partition(
+    graph: AdjacencyGraph,
+    n_parts: int,
+    rng: np.random.Generator | int | None = 0,
+) -> np.ndarray:
+    """Greedy BFS region growth into ``n_parts`` weight-balanced parts.
+
+    Seeds are spread by farthest-point BFS; parts then take turns (the
+    lightest part first) absorbing a frontier vertex, preferring the
+    frontier vertex with the strongest connection to the part.
+    """
+    check_positive("n_parts", n_parts)
+    rng = coerce_rng(rng)
+    n = graph.n_vertices
+    n_parts = min(int(n_parts), n)
+    parts = np.full(n, -1, dtype=np.int64)
+
+    seeds = _spread_seeds(graph, n_parts, rng)
+    part_weight = np.zeros(n_parts)
+    # Per-part frontier heaps of (-connection, tiebreak, vertex).
+    frontiers: list[list[tuple[float, int, int]]] = [[] for _ in range(n_parts)]
+    counter = 0
+    for part, seed in enumerate(seeds):
+        parts[seed] = part
+        part_weight[part] += graph.vertex_weights[seed]
+        for nb, w in zip(*graph.neighbors(seed)):
+            heapq.heappush(frontiers[part], (-float(w), counter, int(nb)))
+            counter += 1
+
+    assigned = n_parts
+    while assigned < n:
+        part = int(np.argmin(part_weight))
+        vertex = None
+        while frontiers[part]:
+            _, _, candidate = heapq.heappop(frontiers[part])
+            if parts[candidate] == -1:
+                vertex = candidate
+                break
+        if vertex is None:
+            # Frontier exhausted (disconnected region): steal the first
+            # unassigned vertex to keep every vertex covered.
+            unassigned = np.flatnonzero(parts == -1)
+            if unassigned.size == 0:
+                break
+            vertex = int(unassigned[0])
+            part_weight[part] += 1e-12  # avoid re-picking an empty island part
+        parts[vertex] = part
+        part_weight[part] += graph.vertex_weights[vertex]
+        for nb, w in zip(*graph.neighbors(vertex)):
+            if parts[nb] == -1:
+                heapq.heappush(frontiers[part], (-float(w), counter, int(nb)))
+                counter += 1
+        assigned += 1
+    return parts
+
+
+def _spread_seeds(
+    graph: AdjacencyGraph, n_parts: int, rng: np.random.Generator
+) -> list[int]:
+    """Farthest-point seeding by repeated BFS distance maximization."""
+    n = graph.n_vertices
+    first = int(rng.integers(0, n))
+    seeds = [first]
+    dist = _bfs_distance(graph, first)
+    for _ in range(n_parts - 1):
+        candidate = int(np.argmax(np.where(np.isfinite(dist), dist, -1.0)))
+        if candidate in seeds:
+            remaining = [v for v in range(n) if v not in seeds]
+            candidate = int(rng.choice(remaining))
+        seeds.append(candidate)
+        dist = np.minimum(dist, _bfs_distance(graph, candidate))
+    return seeds
+
+
+def _bfs_distance(graph: AdjacencyGraph, source: int) -> np.ndarray:
+    dist = np.full(graph.n_vertices, np.inf)
+    dist[source] = 0.0
+    queue = [source]
+    while queue:
+        nxt = []
+        for v in queue:
+            for nb in graph.neighbors(v)[0]:
+                if dist[nb] == np.inf:
+                    dist[nb] = dist[v] + 1
+                    nxt.append(int(nb))
+        queue = nxt
+    return dist
+
+
+def refine_partition(
+    graph: AdjacencyGraph,
+    parts: np.ndarray,
+    n_parts: int,
+    passes: int = 2,
+    balance_tol: float = 0.1,
+) -> np.ndarray:
+    """Kernighan–Lin-style boundary refinement.
+
+    Sweeps boundary vertices; a vertex moves to the neighbouring part
+    with the largest positive cut gain, provided the move keeps both
+    parts within ``(1 + balance_tol)`` of the average part weight.
+    """
+    check_positive("passes", passes)
+    parts = np.array(parts, dtype=np.int64, copy=True)
+    part_weight = np.zeros(n_parts)
+    np.add.at(part_weight, parts, graph.vertex_weights)
+    limit = (1.0 + balance_tol) * graph.total_vertex_weight / n_parts
+
+    for _ in range(passes):
+        moved = 0
+        for v in range(graph.n_vertices):
+            nbrs, weights = graph.neighbors(v)
+            if nbrs.size == 0:
+                continue
+            home = parts[v]
+            # Connection weight to each adjacent part.
+            conn: dict[int, float] = {}
+            for nb, w in zip(nbrs, weights):
+                conn[parts[nb]] = conn.get(parts[nb], 0.0) + float(w)
+            internal = conn.get(home, 0.0)
+            best_part, best_gain = home, 0.0
+            for part, weight in conn.items():
+                if part == home:
+                    continue
+                gain = weight - internal
+                if gain > best_gain and part_weight[part] + graph.vertex_weights[v] <= limit:
+                    best_part, best_gain = part, gain
+            if best_part != home:
+                part_weight[home] -= graph.vertex_weights[v]
+                part_weight[best_part] += graph.vertex_weights[v]
+                parts[v] = best_part
+                moved += 1
+        if moved == 0:
+            break
+    return parts

@@ -1,0 +1,44 @@
+"""GreedyLB — the centralized greedy baseline (Fig. 2 "AMT w/GreedyLB").
+
+The classic Charm++ strategy: gather every task's load at one point,
+sort tasks by descending load, and assign each to the currently
+least-loaded rank (min-heap). This is the non-scalable quality yardstick
+of the paper — an execution-time and memory bottleneck at scale, but a
+near-optimal distribution (LPT gives a 4/3-OPT makespan bound).
+
+Because GreedyLB remaps *from scratch*, it typically proposes far more
+migrations than the distributed strategies; the paper accepts this since
+its quality is the point of the baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.base import LBResult, LoadBalancer
+from repro.core.distribution import Distribution
+
+__all__ = ["GreedyLB"]
+
+
+class GreedyLB(LoadBalancer):
+    """Centralized longest-processing-time-first (LPT) assignment."""
+
+    name = "GreedyLB"
+
+    def rebalance(
+        self, dist: Distribution, rng: np.random.Generator | int | None = None
+    ) -> LBResult:
+        order = np.argsort(-dist.task_loads, kind="stable")
+        assignment = np.empty_like(dist.assignment)
+        # (load, rank) min-heap; ties resolve to the lowest rank id, which
+        # makes the output deterministic.
+        heap: list[tuple[float, int]] = [(0.0, r) for r in range(dist.n_ranks)]
+        heapq.heapify(heap)
+        for task in order:
+            load, rank = heapq.heappop(heap)
+            assignment[task] = rank
+            heapq.heappush(heap, (load + float(dist.task_loads[task]), rank))
+        return self._make_result(dist, assignment)

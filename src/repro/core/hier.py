@@ -1,0 +1,143 @@
+"""HierLB — a hierarchical, tree-based baseline (Fig. 2 "AMT w/HierLB").
+
+Models the class of balancers described in Zheng's thesis and the
+persistence-based hierarchical scheme of Lifflander et al. (HPDC'12):
+ranks are grouped into a ``branching``-ary tree; groups balance
+internally first, then surplus load is traded between sibling subtrees
+at each level, with donated tasks landing on the least-loaded rank of
+the receiving subtree. Cost grows with tree depth (``Ω(log P)``), which
+is why the paper positions it as less scalable than gossip but of
+comparable quality at moderate scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LBResult, LoadBalancer
+from repro.core.distribution import Distribution
+from repro.util.validation import check_positive
+
+__all__ = ["HierLB"]
+
+
+class HierLB(LoadBalancer):
+    """Hierarchical group-wise balancer."""
+
+    name = "HierLB"
+
+    def __init__(self, branching: int = 8, tolerance: float = 0.02) -> None:
+        check_positive("branching", branching)
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        check_positive("tolerance", tolerance)
+        self.branching = int(branching)
+        #: Stop trading between subtrees once every subtree is within this
+        #: relative distance of its per-rank-average quota.
+        self.tolerance = float(tolerance)
+
+    def rebalance(
+        self, dist: Distribution, rng: np.random.Generator | int | None = None
+    ) -> LBResult:
+        assignment = np.array(dist.assignment, copy=True)
+        loads = np.array(dist.rank_loads(), copy=True)
+        rank_tasks: list[list[int]] = [list(ts) for ts in dist.rank_tasks()]
+        levels = self._balance_span(
+            list(range(dist.n_ranks)), assignment, loads, rank_tasks, dist.task_loads
+        )
+        return self._make_result(dist, assignment, tree_depth=levels)
+
+    # -- internals ---------------------------------------------------------
+
+    def _balance_span(
+        self,
+        ranks: list[int],
+        assignment: np.ndarray,
+        loads: np.ndarray,
+        rank_tasks: list[list[int]],
+        task_loads: np.ndarray,
+    ) -> int:
+        """Balance the subtree covering ``ranks``; returns subtree depth."""
+        if len(ranks) <= 1:
+            return 0
+        groups = self._split(ranks)
+        depth = 0
+        for group in groups:
+            depth = max(depth, self._balance_span(group, assignment, loads, rank_tasks, task_loads))
+        self._trade_between_groups(groups, assignment, loads, rank_tasks, task_loads)
+        return depth + 1
+
+    def _split(self, ranks: list[int]) -> list[list[int]]:
+        """Split ``ranks`` into up to ``branching`` nearly equal groups."""
+        n = len(ranks)
+        n_groups = min(self.branching, n)
+        bounds = np.linspace(0, n, n_groups + 1).astype(int)
+        return [ranks[bounds[i] : bounds[i + 1]] for i in range(n_groups) if bounds[i] < bounds[i + 1]]
+
+    def _trade_between_groups(
+        self,
+        groups: list[list[int]],
+        assignment: np.ndarray,
+        loads: np.ndarray,
+        rank_tasks: list[list[int]],
+        task_loads: np.ndarray,
+    ) -> None:
+        """Move tasks from surplus subtrees to deficit subtrees."""
+        span = [r for g in groups for r in g]
+        span_load = float(loads[span].sum())
+        per_rank_avg = span_load / len(span)
+        if per_rank_avg <= 0.0:
+            return
+        quotas = np.array([per_rank_avg * len(g) for g in groups])
+        tol = self.tolerance * per_rank_avg
+        # Each move strictly reduces the donor's surplus by a positive task
+        # load; cap iterations at the number of tasks in the span as a
+        # safety net against degenerate float behaviour.
+        max_moves = sum(len(rank_tasks[r]) for r in span)
+        for _ in range(max_moves):
+            group_loads = np.array([loads[g].sum() for g in groups])
+            surplus = group_loads - quotas
+            donor = int(np.argmax(surplus))
+            receiver = int(np.argmin(surplus))
+            if surplus[donor] <= tol or surplus[receiver] >= -tol:
+                return
+            amount = min(surplus[donor], -surplus[receiver])
+            task, src = self._pick_task(groups[donor], rank_tasks, loads, task_loads, amount)
+            if task is None:
+                return
+            t_load = float(task_loads[task])
+            # Reject moves that overshoot so far they cannot reduce the
+            # level's total absolute surplus (prevents oscillation).
+            if t_load > surplus[donor] + tol or t_load > 2.0 * amount:
+                return
+            dst_ranks = groups[receiver]
+            dst = int(dst_ranks[int(np.argmin(loads[dst_ranks]))])
+            rank_tasks[src].remove(task)
+            rank_tasks[dst].append(task)
+            assignment[task] = dst
+            loads[src] -= t_load
+            loads[dst] += t_load
+
+    @staticmethod
+    def _pick_task(
+        donor_ranks: list[int],
+        rank_tasks: list[list[int]],
+        loads: np.ndarray,
+        task_loads: np.ndarray,
+        amount: float,
+    ) -> tuple[int | None, int]:
+        """Choose the donated task: from the donor subtree's most loaded
+        rank, the heaviest task not exceeding ``amount``; if every task is
+        heavier, the lightest task (the overshoot guard in the caller
+        decides whether it is still worth moving)."""
+        src = int(donor_ranks[int(np.argmax(loads[donor_ranks]))])
+        tasks = rank_tasks[src]
+        if not tasks:
+            return None, src
+        tl = task_loads[tasks]
+        fitting = tl <= amount
+        if fitting.any():
+            local = int(np.argmax(np.where(fitting, tl, -np.inf)))
+        else:
+            local = int(np.argmin(tl))
+        return int(tasks[local]), src

@@ -1,0 +1,80 @@
+"""Per-rank partial knowledge of underloaded ranks (the sets ``S^p``).
+
+During the inform stage, every rank accumulates a set of underloaded
+ranks it has heard about, together with those ranks' (snapshot) loads.
+At 2^12 ranks a Python ``set`` per rank makes the knowledge merge the
+bottleneck, so the default representation is a dense boolean bitmap
+(one row per rank) where a merge is a vectorized OR. Loads do not
+change during an inform stage, so ``LOAD^p`` is simply the global load
+snapshot restricted to ``S^p`` (see DESIGN.md § 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["KnowledgeBitmap"]
+
+
+class KnowledgeBitmap:
+    """Knowledge sets ``S^p`` for all ranks as a ``P x P`` boolean matrix.
+
+    ``rows[p, q]`` is True iff rank ``p`` knows rank ``q`` is underloaded.
+    """
+
+    __slots__ = ("n_ranks", "rows")
+
+    def __init__(self, n_ranks: int) -> None:
+        check_positive("n_ranks", n_ranks)
+        self.n_ranks = int(n_ranks)
+        self.rows = np.zeros((self.n_ranks, self.n_ranks), dtype=bool)
+
+    def add(self, rank: int, members: np.ndarray | list[int]) -> None:
+        """Add ``members`` to ``S^rank``."""
+        self.rows[rank, members] = True
+
+    def add_self(self, ranks: np.ndarray) -> None:
+        """Seed each rank in ``ranks`` with knowledge of itself (Alg. 1 l.7)."""
+        self.rows[ranks, ranks] = True
+
+    def merge(self, dst: int, src_row: np.ndarray) -> None:
+        """Merge a received knowledge row into ``S^dst`` (Alg. 1 l.16-17)."""
+        np.logical_or(self.rows[dst], src_row, out=self.rows[dst])
+
+    def known(self, rank: int) -> np.ndarray:
+        """``S^rank`` as a sorted array of rank ids."""
+        return np.flatnonzero(self.rows[rank])
+
+    def knows(self, rank: int, other: int) -> bool:
+        """Whether ``rank`` knows ``other`` is underloaded."""
+        return bool(self.rows[rank, other])
+
+    def counts(self) -> np.ndarray:
+        """``|S^p|`` for every rank ``p``."""
+        return self.rows.sum(axis=1)
+
+    def unknown_targets(self, rank: int) -> np.ndarray:
+        """``P \\ S^p`` — candidate gossip targets avoiding known ranks
+        (Alg. 1 l.20). The sender itself is also excluded."""
+        mask = ~self.rows[rank]
+        mask[rank] = False
+        return np.flatnonzero(mask)
+
+    def coverage(self, underloaded: np.ndarray) -> float:
+        """Mean fraction of the underloaded set each rank knows.
+
+        Used by the gossip-convergence analysis: with ``k >= log_f P``
+        rounds this approaches 1 with high probability.
+        """
+        n_under = int(np.count_nonzero(underloaded)) if underloaded.dtype == bool else len(
+            underloaded
+        )
+        if n_under == 0:
+            return 1.0
+        if underloaded.dtype == bool:
+            per_rank = self.rows[:, underloaded].sum(axis=1)
+        else:
+            per_rank = self.rows[:, underloaded].sum(axis=1)
+        return float(per_rank.mean() / n_under)

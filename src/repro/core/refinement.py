@@ -1,0 +1,99 @@
+"""Algorithm 3 — iterative refinement of the task-rank mapping.
+
+TemperedLB's outer loop: ``n_trials`` independent trials, each running
+``n_iters`` inform+transfer iterations from the original assignment. The
+proposal with the lowest imbalance across *all* iterations of *all*
+trials wins, and only that proposal's transfers are actually executed
+(deferred migration, Alg. 3 l.13). Trials restart from the previous
+timestep's state so a bad random walk cannot trap the result in a local
+minimum (§ V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import IterationRecord
+from repro.core.distribution import Distribution
+from repro.core.gossip import GossipConfig, run_inform_stage
+from repro.core.metrics import imbalance
+from repro.core.transfer import TransferConfig, transfer_stage
+from repro.util.validation import check_positive, coerce_rng
+
+__all__ = ["RefinementResult", "iterative_refinement"]
+
+
+@dataclass
+class RefinementResult:
+    """Best proposal found by Algorithm 3, with full iteration history."""
+
+    best_assignment: np.ndarray
+    best_imbalance: float
+    initial_imbalance: float
+    records: list[IterationRecord] = field(default_factory=list)
+    total_gossip_messages: int = 0
+    total_gossip_bytes: int = 0
+
+    def trial_records(self, trial: int) -> list[IterationRecord]:
+        """The iteration rows belonging to one trial."""
+        return [r for r in self.records if r.trial == trial]
+
+
+def iterative_refinement(
+    dist: Distribution,
+    n_trials: int = 1,
+    n_iters: int = 1,
+    gossip: GossipConfig | None = None,
+    transfer: TransferConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> RefinementResult:
+    """Run Algorithm 3 and return the best proposal.
+
+    The input distribution is never mutated. ``l_ave`` is constant across
+    iterations (no load is created or destroyed), matching the paper's
+    observation in § V-B.
+    """
+    check_positive("n_trials", n_trials)
+    check_positive("n_iters", n_iters)
+    gossip = gossip or GossipConfig()
+    transfer = transfer or TransferConfig()
+    rng = coerce_rng(rng)
+
+    l_ave = dist.average_load
+    original = dist.assignment
+    best_assignment = np.array(original, copy=True)
+    initial = dist.imbalance()
+    best_imbalance = initial
+    result = RefinementResult(
+        best_assignment=best_assignment,
+        best_imbalance=best_imbalance,
+        initial_imbalance=initial,
+    )
+
+    for trial in range(1, int(n_trials) + 1):
+        working = np.array(original, copy=True)  # Alg. 3 l.3: reset per trial
+        for iteration in range(1, int(n_iters) + 1):
+            loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
+            inform = run_inform_stage(loads, gossip, rng, average_load=l_ave)
+            stats = transfer_stage(working, dist.task_loads, inform, transfer, rng)
+            loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
+            proposal_imbalance = imbalance(loads)
+            result.records.append(
+                IterationRecord(
+                    trial=trial,
+                    iteration=iteration,
+                    transfers=stats.transfers,
+                    rejections=stats.rejections,
+                    imbalance=proposal_imbalance,
+                    gossip_messages=inform.n_messages,
+                    gossip_bytes=inform.bytes_sent,
+                )
+            )
+            result.total_gossip_messages += inform.n_messages
+            result.total_gossip_bytes += inform.bytes_sent
+            if proposal_imbalance < result.best_imbalance:
+                result.best_imbalance = proposal_imbalance
+                result.best_assignment = np.array(working, copy=True)
+    return result

@@ -1,0 +1,31 @@
+"""EMPIRE surrogate: a particle-in-cell mini-app with time-varying imbalance.
+
+EMPIRE (§ VI-A) solves electromagnetic fields with FEM (well balanced by
+the static SPMD decomposition) and plasma with PIC particles whose
+spatial density is highly non-uniform and evolves over the run (the
+"B-Dot" problem). This package reproduces the *load structure*: a 2-D
+mesh with an SPMD block decomposition, per-rank coloring into migratable
+chunks (overdecomposition factor 24), a drifting/expanding particle
+plume, and per-phase costs ``field ~ cells`` and
+``particles ~ alpha*cells + beta*count``.
+"""
+
+from repro.empire.app import EmpireConfig, EmpireRun, run_empire
+from repro.empire.bdot import BDotScenario
+from repro.empire.fields import FieldSolveModel
+from repro.empire.mesh import Mesh2D
+from repro.empire.particles import ParticlePopulation
+from repro.empire.pic import PICSimulation
+from repro.empire.workload import ColorWorkloadModel
+
+__all__ = [
+    "BDotScenario",
+    "ColorWorkloadModel",
+    "EmpireConfig",
+    "EmpireRun",
+    "FieldSolveModel",
+    "Mesh2D",
+    "PICSimulation",
+    "ParticlePopulation",
+    "run_empire",
+]

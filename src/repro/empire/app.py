@@ -1,0 +1,207 @@
+"""EMPIRE run driver: the five Fig. 2 configurations end to end.
+
+``run_empire(config)`` assembles the mesh, scenario, cost models and the
+selected balancer, runs the timestep loop, and returns an
+:class:`EmpireRun` with the per-step series plus the Fig. 3 totals
+(``t_n``, ``t_p``, ``t_lb``, ``t_total``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.series import PhaseSeries
+from repro.core.base import LoadBalancer
+from repro.core.grapevine import GrapevineLB
+from repro.core.greedy import GreedyLB
+from repro.core.hier import HierLB
+from repro.core.tempered import TemperedConfig, TemperedLB
+from repro.empire.bdot import BDotScenario
+from repro.empire.fields import FieldSolveModel
+from repro.empire.mesh import Mesh2D
+from repro.empire.pic import LBCostModel, PICSimulation, default_lb_schedule
+from repro.empire.workload import ColorWorkloadModel
+from repro.util.validation import check_in, check_positive
+
+__all__ = ["EmpireConfig", "EmpireRun", "run_empire", "CONFIGURATION_LABELS"]
+
+#: The five configurations of Fig. 2, by short name, plus the
+#: conventional synchronous-repartitioning baseline of § VI-A ("rcb").
+CONFIGURATION_LABELS = {
+    "spmd": "SPMD (no AMT)",
+    "amt": "AMT without LB",
+    "grapevine": "AMT w/GrapevineLB",
+    "greedy": "AMT w/GreedyLB",
+    "hier": "AMT w/HierLB",
+    "tempered": "AMT w/TemperedLB",
+    "rcb": "SPMD w/RCB repartition",
+}
+
+
+@dataclass(frozen=True)
+class EmpireConfig:
+    """Parameters for one EMPIRE surrogate run.
+
+    Defaults match the paper's setup where practical: 400 ranks, an
+    overdecomposition factor of 24, LB on step 2 and then every 100th
+    step. ``n_steps``, particle counts and the TemperedLB trial/iteration
+    counts are scaled down from the paper's (1500+ steps, trials=10,
+    iters=8 — "although fewer trials would have sufficed", § VI-B) to
+    keep a pure-Python reproduction within a sane time budget; the
+    benchmarks note the scaling.
+    """
+
+    configuration: str = "tempered"
+    n_ranks: int = 400
+    colors_per_rank: int = 24
+    n_steps: int = 600
+    lb_period: int = 100
+    lb_first_step: int = 2
+    initial_particles: int = 40_000
+    injection_per_step: int = 200
+    amt_overhead: float = 0.23
+    n_trials: int = 2
+    n_iters: int = 8
+    ordering: str = "fewest_migrations"
+    fanout: int = 6
+    rounds: int = 10
+    #: "structured" (the calibrated benchmark mesh) or "unstructured"
+    #: (Delaunay triangulation, § VI-A's real mesh type).
+    mesh_type: str = "structured"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_in("configuration", self.configuration, CONFIGURATION_LABELS)
+        check_positive("n_ranks", self.n_ranks)
+        check_positive("colors_per_rank", self.colors_per_rank)
+        check_positive("n_steps", self.n_steps)
+        check_positive("lb_period", self.lb_period)
+        check_in("mesh_type", self.mesh_type, ("structured", "unstructured"))
+
+    @property
+    def label(self) -> str:
+        return CONFIGURATION_LABELS[self.configuration]
+
+    def with_configuration(self, configuration: str) -> "EmpireConfig":
+        """The same run under a different Fig. 2 configuration."""
+        return replace(self, configuration=configuration)
+
+
+@dataclass
+class EmpireRun:
+    """Result of one EMPIRE surrogate run."""
+
+    config: EmpireConfig
+    series: PhaseSeries
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def t_particle(self) -> float:
+        """Total particle-update time (``t_p`` of Fig. 3)."""
+        return float(np.nansum(self.series.series("t_particle")))
+
+    @property
+    def t_nonparticle(self) -> float:
+        """Total non-particle time (``t_n``)."""
+        return float(np.nansum(self.series.series("t_nonparticle")))
+
+    @property
+    def t_lb(self) -> float:
+        """Total LB + migration time (``t_lb``)."""
+        return float(np.nansum(self.series.series("t_lb")))
+
+    @property
+    def t_total(self) -> float:
+        """Total application time (``t_total``)."""
+        return float(np.nansum(self.series.series("t_step")))
+
+    def breakdown(self) -> dict[str, float]:
+        """The Fig. 3 row for this configuration."""
+        return {
+            "Type": self.config.label,
+            "t_n": self.t_n,
+            "t_p": self.t_particle,
+            "t_lb": self.t_lb,
+            "t_total": self.t_total,
+        }
+
+    # Alias matching the paper's symbol.
+    @property
+    def t_n(self) -> float:
+        return self.t_nonparticle
+
+
+def _make_balancer(config: EmpireConfig) -> LoadBalancer | None:
+    name = config.configuration
+    if name in ("spmd", "amt"):
+        return None
+    if name == "grapevine":
+        # "A configuration of our TemperedLB that matches the original
+        # algorithm" (§ VI-B): same iteration budget, original criterion.
+        return GrapevineLB(
+            n_iters=config.n_iters, fanout=config.fanout, rounds=config.rounds
+        )
+    if name == "greedy":
+        return GreedyLB()
+    if name == "hier":
+        return HierLB()
+    return TemperedLB(
+        TemperedConfig(
+            n_trials=config.n_trials,
+            n_iters=config.n_iters,
+            fanout=config.fanout,
+            rounds=config.rounds,
+            ordering=config.ordering,
+        )
+    )
+
+
+def run_empire(config: EmpireConfig) -> EmpireRun:
+    """Run one configuration of the EMPIRE surrogate."""
+    if config.mesh_type == "unstructured":
+        from repro.empire.unstructured import UnstructuredMesh2D
+
+        mesh = UnstructuredMesh2D(
+            config.n_ranks,
+            colors_per_rank=config.colors_per_rank,
+            n_points=config.n_ranks * config.colors_per_rank * 15,
+            seed=config.seed + 7,
+        )
+    else:
+        mesh = Mesh2D(config.n_ranks, colors_per_rank=config.colors_per_rank)
+    scenario = BDotScenario(
+        initial_particles=config.initial_particles,
+        injection_per_step=config.injection_per_step,
+        seed=config.seed,
+    )
+    mode = "spmd" if config.configuration in ("spmd", "rcb") else "amt"
+    if config.configuration == "rcb":
+        from repro.empire.repartition import RCBLB, repartition_cost_model
+
+        balancer: LoadBalancer | None = RCBLB(mesh)
+        lb_cost = repartition_cost_model()
+    else:
+        balancer = _make_balancer(config)
+        lb_cost = LBCostModel()
+    sim = PICSimulation(
+        mesh,
+        scenario,
+        workload=ColorWorkloadModel(),
+        fields=FieldSolveModel(seed=config.seed + 1),
+        mode=mode,
+        balancer=balancer,
+        lb_schedule=default_lb_schedule(config.lb_period, config.lb_first_step),
+        amt_overhead=config.amt_overhead,
+        lb_cost=lb_cost,
+        seed=config.seed + 2,
+        allow_spmd_repartition=config.configuration == "rcb",
+    )
+    series = sim.run(config.n_steps)
+    return EmpireRun(
+        config=config,
+        series=series,
+        extra={"lb_invocations": sim.lb_invocations},
+    )

@@ -1,0 +1,85 @@
+"""Physics diagnostics for the PIC surrogates.
+
+Fig. 4a's LB-step spikes include "computing application-specific
+(physics) diagnostics on the same interval"; these are those
+diagnostics: kinetic energy, total momentum, electrostatic field
+energy, and per-rank particle counts — with a recorder that samples
+them on an interval, like EMPIRE's diagnostic cadence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.empire.electrostatic import PoissonSolver
+from repro.empire.particles import ParticlePopulation
+from repro.util.validation import check_positive
+
+__all__ = [
+    "kinetic_energy",
+    "total_momentum",
+    "field_energy",
+    "particles_per_rank",
+    "DiagnosticsRecorder",
+]
+
+
+def kinetic_energy(population: ParticlePopulation, mass: float = 1.0) -> float:
+    """``0.5 m sum |v|^2`` over the population."""
+    if population.count == 0:
+        return 0.0
+    return float(0.5 * mass * np.sum(population.velocities**2))
+
+
+def total_momentum(population: ParticlePopulation, mass: float = 1.0) -> np.ndarray:
+    """``m sum v`` (length-2 vector)."""
+    if population.count == 0:
+        return np.zeros(2)
+    return mass * population.velocities.sum(axis=0)
+
+
+def field_energy(solver: PoissonSolver, phi: np.ndarray) -> float:
+    """``0.5 integral |E|^2`` of the potential's field on the grid."""
+    ex, ey = solver.field(phi)
+    cell_area = solver.hx * solver.hy
+    return float(0.5 * cell_area * np.sum(ex**2 + ey**2))
+
+
+def particles_per_rank(
+    population: ParticlePopulation, mesh, assignment: np.ndarray
+) -> np.ndarray:
+    """Particles held by each rank under a color assignment."""
+    counts = population.count_per_color(mesh)
+    n_ranks = int(np.max(assignment)) + 1 if len(assignment) else 0
+    return np.bincount(assignment, weights=counts.astype(float), minlength=n_ranks)
+
+
+class DiagnosticsRecorder:
+    """Samples diagnostics every ``interval`` steps into arrays."""
+
+    def __init__(self, interval: int = 10) -> None:
+        check_positive("interval", interval)
+        self.interval = int(interval)
+        self.steps: list[int] = []
+        self.kinetic: list[float] = []
+        self.momentum: list[np.ndarray] = []
+        self.n_particles: list[int] = []
+
+    def maybe_record(self, step: int, population: ParticlePopulation) -> bool:
+        """Record if the step is on the cadence; returns whether it did."""
+        if step % self.interval != 0:
+            return False
+        self.steps.append(int(step))
+        self.kinetic.append(kinetic_energy(population))
+        self.momentum.append(total_momentum(population))
+        self.n_particles.append(population.count)
+        return True
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The recorded series as numpy arrays."""
+        return {
+            "steps": np.asarray(self.steps),
+            "kinetic": np.asarray(self.kinetic),
+            "momentum": np.asarray(self.momentum),
+            "n_particles": np.asarray(self.n_particles),
+        }

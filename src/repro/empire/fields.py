@@ -1,0 +1,46 @@
+"""Non-particle (field solve) cost model.
+
+EMPIRE's electromagnetic FEM solve runs SPMD on the static mesh
+decomposition and "can be easily balanced" (§ VI-A): every rank owns the
+same number of cells, so the per-rank field time is uniform up to a
+solver-iteration jitter term. The field solve is *not* migrated with
+colors — execution transitions between SPMD and AMT per timestep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, coerce_rng
+
+__all__ = ["FieldSolveModel"]
+
+
+class FieldSolveModel:
+    """Per-rank, per-step field-solve time."""
+
+    def __init__(
+        self,
+        seconds_per_cell: float = 2e-5,
+        fixed_seconds: float = 0.05,
+        jitter: float = 0.01,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        check_nonnegative("seconds_per_cell", seconds_per_cell)
+        check_nonnegative("fixed_seconds", fixed_seconds)
+        check_nonnegative("jitter", jitter)
+        self.seconds_per_cell = float(seconds_per_cell)
+        self.fixed_seconds = float(fixed_seconds)
+        self.jitter = float(jitter)
+        self._rng = coerce_rng(seed)
+
+    def step_time(self, cells_per_rank: int, n_ranks: int) -> np.ndarray:
+        """Per-rank field time for one step (length ``n_ranks``).
+
+        The bulk-synchronous solve makes the step cost the max of these.
+        """
+        base = self.fixed_seconds + self.seconds_per_cell * cells_per_rank
+        if self.jitter == 0.0:
+            return np.full(n_ranks, base)
+        noise = self._rng.normal(1.0, self.jitter, size=n_ranks)
+        return base * np.clip(noise, 0.5, 1.5)

@@ -1,0 +1,67 @@
+"""Particle population: storage, motion, and color binning.
+
+A flat structure-of-arrays container (positions and velocities as
+``(n, 2)`` float arrays) with vectorized advancement. Boundaries are
+reflecting, as in a bounded plasma device chamber.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.empire.mesh import Mesh2D
+
+__all__ = ["ParticlePopulation"]
+
+#: Largest double strictly below 1.0 — positions live in [0, 1).
+_SUP = np.nextafter(1.0, 0.0)
+
+
+class ParticlePopulation:
+    """A set of simulation particles on the unit square."""
+
+    def __init__(self, positions: np.ndarray, velocities: np.ndarray) -> None:
+        self.positions = np.ascontiguousarray(positions, dtype=np.float64)
+        self.velocities = np.ascontiguousarray(velocities, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError("positions must have shape (n, 2)")
+        if self.positions.shape != self.velocities.shape:
+            raise ValueError("positions and velocities must have the same shape")
+        if self.positions.size and (
+            self.positions.min() < 0.0 or self.positions.max() >= 1.0
+        ):
+            raise ValueError("positions must lie in the unit square [0, 1)")
+
+    @classmethod
+    def empty(cls) -> "ParticlePopulation":
+        return cls(np.empty((0, 2)), np.empty((0, 2)))
+
+    @property
+    def count(self) -> int:
+        return self.positions.shape[0]
+
+    def advance(self, dt: float) -> None:
+        """Move particles by ``dt`` with reflecting boundaries."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        pos = self.positions + self.velocities * dt
+        # Reflect: fold position into [0, 2), mirror the upper half.
+        pos = np.mod(pos, 2.0)
+        over = pos >= 1.0
+        pos[over] = 2.0 - pos[over]
+        np.clip(pos, 0.0, _SUP, out=pos)
+        self.velocities[over] *= -1.0
+        self.positions = pos
+
+    def inject(self, positions: np.ndarray, velocities: np.ndarray) -> None:
+        """Append newly created particles."""
+        add = ParticlePopulation(positions, velocities)  # validates
+        self.positions = np.concatenate([self.positions, add.positions])
+        self.velocities = np.concatenate([self.velocities, add.velocities])
+
+    def count_per_color(self, mesh: Mesh2D) -> np.ndarray:
+        """Particles per color, length ``mesh.n_colors``."""
+        if self.count == 0:
+            return np.zeros(mesh.n_colors, dtype=np.int64)
+        colors = mesh.color_of_position(self.positions[:, 0], self.positions[:, 1])
+        return np.bincount(colors, minlength=mesh.n_colors)

@@ -1,0 +1,18 @@
+"""Molecular-dynamics mini-app (the LeanMD workload class).
+
+Menon & Kalé demonstrated GrapevineLB on molecular dynamics; § II lists
+MD among the domains with inherent spatial non-uniformity. This package
+provides the load structure of a cell-based short-range MD code: space
+is cut into cells (the tasks), each cell's force work scales with
+``n^2`` in its particle count plus pairwise terms with its neighbours,
+and particles drift/diffuse between cells so the hot region moves —
+another instance of the paper's "time-varying imbalance", with a
+built-in communication graph (ghost-atom exchange between adjacent
+cells) for the § VII communication-aware extension.
+"""
+
+from repro.md.app import MDConfig, MDSimulation
+from repro.md.cells import CellGrid
+from repro.md.scenario import DropletScenario
+
+__all__ = ["CellGrid", "DropletScenario", "MDConfig", "MDSimulation"]

@@ -1,0 +1,38 @@
+"""AMT runtime model (the role DARMA/vt plays in the paper).
+
+Built on :mod:`repro.sim`: tasks execute serially per rank with a
+per-task overhead, phases end with a tree barrier, per-task loads are
+instrumented for the balancers (principle of persistence), the inform
+stage runs as real asynchronous messages sequenced by termination
+detection, and migrations ship task bytes across the network model.
+"""
+
+from repro.runtime.amt import AMTRuntime, PhaseResult
+from repro.runtime.distributed_gossip import DistributedGossip, GossipOutcome
+from repro.runtime.epochs import Epoch, EpochManager
+from repro.runtime.lbmanager import DistributedLBResult, LBManager
+from repro.runtime.migration import MigrationResult, migrate_tasks
+from repro.runtime.phase import PhaseBarrier, PhaseInstrumentation
+from repro.runtime.work_stealing import (
+    RetentiveWorkStealing,
+    StealResult,
+    WorkStealingScheduler,
+)
+
+__all__ = [
+    "AMTRuntime",
+    "DistributedGossip",
+    "DistributedLBResult",
+    "Epoch",
+    "EpochManager",
+    "GossipOutcome",
+    "LBManager",
+    "MigrationResult",
+    "PhaseBarrier",
+    "PhaseInstrumentation",
+    "PhaseResult",
+    "RetentiveWorkStealing",
+    "StealResult",
+    "WorkStealingScheduler",
+    "migrate_tasks",
+]

@@ -1,0 +1,148 @@
+"""Event-level Algorithm 1: the inform stage as real asynchronous messages.
+
+Unlike the phase-level :mod:`repro.core.gossip` (synchronous rounds,
+zero time), this implementation sends timestamped inform messages over
+the network model, without round barriers, and uses Safra's termination
+detector to establish quiescence — matching the paper's description of
+the asynchronous implementation ("rounds are not synchronized and
+proceed without barriers, relying on distributed termination
+detection").
+
+Forwarding is coalesced per (rank, received round): a rank forwards its
+merged knowledge once for each distinct round value it receives, which
+is what the practical implementations do and bounds traffic at
+``O(P f k)`` messages (the literal per-received-message forwarding of
+the pseudocode is exponential; see DESIGN.md § 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gossip import ENTRY_BYTES, HEADER_BYTES, GossipResult
+from repro.core.knowledge import KnowledgeBitmap
+from repro.sim.process import Process, System
+from repro.sim.rng import RankStreams
+from repro.sim.termination import SafraDetector
+from repro.util.validation import check_positive
+
+__all__ = ["DistributedGossip", "GossipOutcome"]
+
+_gossip_counter = 0
+
+
+@dataclass
+class GossipOutcome:
+    """Result of one event-level inform stage."""
+
+    knowledge: KnowledgeBitmap
+    underloaded: np.ndarray
+    load_snapshot: np.ndarray
+    average_load: float
+    n_messages: int
+    bytes_sent: int
+    elapsed: float  #: simulated seconds from start to detected quiescence
+
+    def to_gossip_result(self) -> GossipResult:
+        """Adapt to the phase-level result type consumed by the transfer
+        stage (:func:`repro.core.transfer.transfer_stage`)."""
+        return GossipResult(
+            knowledge=self.knowledge,
+            underloaded=self.underloaded,
+            load_snapshot=self.load_snapshot,
+            average_load=self.average_load,
+            n_messages=self.n_messages,
+            bytes_sent=self.bytes_sent,
+        )
+
+
+class DistributedGossip:
+    """One asynchronous inform stage on a simulated system."""
+
+    def __init__(
+        self,
+        system: System,
+        rank_loads: np.ndarray,
+        average_load: float | None = None,
+        fanout: int = 6,
+        rounds: int = 10,
+        streams: RankStreams | None = None,
+    ) -> None:
+        check_positive("fanout", fanout)
+        check_positive("rounds", rounds)
+        self.system = system
+        self.loads = np.ascontiguousarray(rank_loads, dtype=np.float64)
+        if self.loads.size != system.n_ranks:
+            raise ValueError("need one load per rank")
+        self.average_load = (
+            float(self.loads.mean()) if average_load is None else float(average_load)
+        )
+        self.fanout = int(fanout)
+        self.rounds = int(rounds)
+        self.streams = streams or RankStreams(system.n_ranks, seed=0)
+
+    def run(self) -> GossipOutcome:
+        """Execute the inform stage to quiescence; advances the clock."""
+        global _gossip_counter
+        _gossip_counter += 1
+        tag = f"inform_{_gossip_counter}"
+        system = self.system
+        n = system.n_ranks
+        start_time = system.engine.now
+        counters = {"messages": 0, "bytes": 0}
+
+        underloaded = self.loads < self.average_load
+        know = KnowledgeBitmap(n)
+        seeds = np.flatnonzero(underloaded)
+        know.add_self(seeds)
+        #: Rounds already forwarded per rank (coalescing guard).
+        forwarded: list[set[int]] = [set() for _ in range(n)]
+
+        def send_knowledge(proc: Process, next_round: int) -> None:
+            candidates = know.unknown_targets(proc.rank)
+            if candidates.size == 0:
+                return
+            rng = self.streams[proc.rank]
+            k = min(self.fanout, candidates.size)
+            targets = (
+                candidates
+                if candidates.size <= self.fanout
+                else rng.choice(candidates, size=k, replace=False)
+            )
+            payload = know.known(proc.rank)
+            size = HEADER_BYTES + ENTRY_BYTES * payload.size
+            for dst in targets:
+                proc.send(int(dst), tag, payload=(payload, next_round), size=size)
+                counters["messages"] += 1
+                counters["bytes"] += size
+
+        def on_inform(proc: Process, msg) -> None:
+            members, round_index = msg.payload
+            know.add(proc.rank, members)
+            if round_index < self.rounds and round_index not in forwarded[proc.rank]:
+                forwarded[proc.rank].add(round_index)
+                send_knowledge(proc, round_index + 1)
+
+        for proc in system.processes:
+            proc.register(tag, on_inform)
+
+        detected: list[float] = []
+        detector = SafraDetector(system, on_terminate=detected.append)
+        for rank in seeds:
+            send_knowledge(system.processes[int(rank)], 1)
+        detector.start()
+        system.run()
+        if not detected:
+            raise RuntimeError("gossip termination was not detected")
+
+        return GossipOutcome(
+            knowledge=know,
+            underloaded=underloaded,
+            load_snapshot=self.loads.copy(),
+            average_load=self.average_load,
+            n_messages=counters["messages"],
+            bytes_sent=counters["bytes"],
+            elapsed=detected[0] - start_time,
+        )

@@ -1,0 +1,198 @@
+"""The LB manager: a full distributed load-balancing episode in simulation.
+
+Sequence per episode (what vt does at an LB phase boundary):
+
+1. constant-size statistics all-reduce (``l_ave``, ``l_max``);
+2. ``n_trials x n_iters`` refinement iterations (Algorithm 3), each an
+   asynchronous inform stage (:class:`DistributedGossip`) followed by
+   local transfer decisions (Algorithm 2, snapshot view — senders see
+   only their own knowledge) and an all-reduce evaluating the proposed
+   imbalance;
+3. one migration episode executing the best proposal (Alg. 3 l.13).
+
+The returned :class:`DistributedLBResult` carries the simulated cost of
+the whole episode — the ``t_lb`` column of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import IterationRecord
+from repro.core.metrics import imbalance
+from repro.core.tempered import TemperedConfig
+from repro.core.transfer import TransferStats, transfer_from_rank
+from repro.runtime.amt import AMTRuntime
+from repro.runtime.distributed_gossip import DistributedGossip
+from repro.runtime.migration import MigrationResult, migrate_tasks
+from repro.sim.reductions import allreduce
+from repro.sim.rng import RankStreams
+
+__all__ = ["DistributedLBResult", "LBManager"]
+
+#: CPU seconds charged per transfer-loop attempt (criterion + CMF sample).
+_ATTEMPT_COST = 5e-7
+
+
+@dataclass
+class DistributedLBResult:
+    """Outcome and cost of one simulated LB episode."""
+
+    assignment: np.ndarray
+    initial_imbalance: float
+    final_imbalance: float
+    n_migrations: int
+    t_lb: float  #: total simulated episode time (decision + migration)
+    gossip_time: float
+    migration: MigrationResult | None
+    gossip_messages: int = 0
+    gossip_bytes: int = 0
+    records: list[IterationRecord] = field(default_factory=list)
+
+
+class LBManager:
+    """Runs TemperedLB-family episodes inside a simulated AMT runtime."""
+
+    def __init__(
+        self,
+        runtime: AMTRuntime,
+        config: TemperedConfig | None = None,
+        seed: int = 0,
+        bytes_per_unit_load: float = 1e6,
+        migration_fixed_bytes: int = 2048,
+    ) -> None:
+        self.runtime = runtime
+        self.config = config or TemperedConfig()
+        self.streams = RankStreams(runtime.n_ranks, seed=seed)
+        self.decision_rng = np.random.default_rng(seed)
+        self.bytes_per_unit_load = float(bytes_per_unit_load)
+        self.migration_fixed_bytes = int(migration_fixed_bytes)
+
+    def run_episode(self, predicted_loads: np.ndarray | None = None) -> DistributedLBResult:
+        """Balance using the given (or instrumented) per-task loads.
+
+        Advances the runtime's simulated clock by the full episode cost.
+        """
+        runtime = self.runtime
+        system = runtime.system
+        cfg = self.config
+        task_loads = (
+            np.ascontiguousarray(predicted_loads, dtype=np.float64)
+            if predicted_loads is not None
+            else runtime.instrumentation.latest()
+        )
+        if task_loads.shape != runtime.assignment.shape:
+            raise ValueError("predicted loads must match the task count")
+
+        t0 = system.engine.now
+        original = runtime.assignment.copy()
+        n_ranks = runtime.n_ranks
+
+        # 1. Statistics all-reduce: (total, max) of rank loads.
+        rank_loads = np.bincount(original, weights=task_loads, minlength=n_ranks)
+        self._stats_allreduce(rank_loads)
+        l_ave = float(rank_loads.mean())
+        initial_imbalance = imbalance(rank_loads)
+
+        # 2. Iterative refinement (Algorithm 3) with event-level informs.
+        best = original.copy()
+        best_imbalance = initial_imbalance
+        records: list[IterationRecord] = []
+        gossip_time = 0.0
+        gossip_messages = 0
+        gossip_bytes = 0
+        for trial in range(1, cfg.n_trials + 1):
+            working = original.copy()
+            for iteration in range(1, cfg.n_iters + 1):
+                loads = np.bincount(working, weights=task_loads, minlength=n_ranks)
+                gossip = DistributedGossip(
+                    system,
+                    loads,
+                    average_load=l_ave,
+                    fanout=cfg.fanout,
+                    rounds=cfg.rounds,
+                    streams=self.streams,
+                ).run()
+                gossip_time += gossip.elapsed
+                gossip_messages += gossip.n_messages
+                gossip_bytes += gossip.bytes_sent
+                # Transfer decisions run rank by rank so each overloaded
+                # rank's CPU is charged for its own attempts.
+                stats = TransferStats()
+                gossip_result = gossip.to_gossip_result()
+                transfer_cfg = cfg.transfer_config()
+                overloaded = np.flatnonzero(loads > transfer_cfg.threshold * l_ave)
+                for p in overloaded:
+                    rank_stats = transfer_from_rank(
+                        int(p),
+                        working,
+                        task_loads,
+                        gossip_result,
+                        transfer_cfg,
+                        rng=self.decision_rng,
+                    )
+                    attempts = rank_stats.transfers + rank_stats.rejections
+                    if attempts:
+                        system.processes[int(p)].compute(attempts * _ATTEMPT_COST)
+                    stats.merge(rank_stats)
+                loads = np.bincount(working, weights=task_loads, minlength=n_ranks)
+                proposed = imbalance(loads)
+                # Evaluating I_proposed is an all-reduce in the real system.
+                self._stats_allreduce(loads)
+                records.append(
+                    IterationRecord(
+                        trial=trial,
+                        iteration=iteration,
+                        transfers=stats.transfers,
+                        rejections=stats.rejections,
+                        imbalance=proposed,
+                        gossip_messages=gossip.n_messages,
+                        gossip_bytes=gossip.bytes_sent,
+                    )
+                )
+                if proposed < best_imbalance:
+                    best_imbalance = proposed
+                    best = working.copy()
+
+        # 3. Execute the winning proposal's migrations.
+        moves = [
+            (int(t), int(original[t]), int(best[t]))
+            for t in np.flatnonzero(best != original)
+        ]
+        migration = None
+        if moves:
+            migration = migrate_tasks(
+                system,
+                moves,
+                task_loads,
+                bytes_per_unit_load=self.bytes_per_unit_load,
+                fixed_bytes=self.migration_fixed_bytes,
+            )
+        runtime.apply_assignment(best)
+
+        return DistributedLBResult(
+            assignment=best,
+            initial_imbalance=initial_imbalance,
+            final_imbalance=best_imbalance,
+            n_migrations=len(moves),
+            t_lb=system.engine.now - t0,
+            gossip_time=gossip_time,
+            migration=migration,
+            gossip_messages=gossip_messages,
+            gossip_bytes=gossip_bytes,
+            records=records,
+        )
+
+    def _stats_allreduce(self, rank_loads: np.ndarray) -> None:
+        """Simulate the constant-size (total, max) all-reduce."""
+        contributions = [(float(l), float(l)) for l in rank_loads]
+        allreduce(
+            self.runtime.system,
+            contributions,
+            combine=lambda a, b: (a[0] + b[0], max(a[1], b[1])),
+            on_complete=lambda rank, value: None,
+            size=32,
+        )
+        self.runtime.system.run()

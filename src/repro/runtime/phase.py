@@ -1,0 +1,118 @@
+"""Phase demarcation: instrumentation and the end-of-phase barrier.
+
+vt demarcates application *phases* (a timestep or iteration); load
+balancing relies on instrumentation collected per phase (§ III-B, the
+principle of persistence). A phase ends with a tree barrier here —
+the bulk-synchronous boundary that makes the max rank load the
+performance limiter (the reasoning behind Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.messages import Message
+from repro.sim.process import Process, System
+from repro.sim.reductions import binomial_children, binomial_parent
+
+__all__ = ["PhaseBarrier", "PhaseInstrumentation"]
+
+_barrier_counter = 0
+
+
+class PhaseBarrier:
+    """A binomial-tree barrier keyed to each rank's CPU-busy time.
+
+    Every rank "arrives" when its CPU drains (``busy_until``); arrival
+    reports flow up a binomial tree and a release wave flows back down.
+    ``on_complete(rank, time)`` fires per rank at its release time.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        on_release: Callable[[int, float], None],
+        size: int = 16,
+    ) -> None:
+        global _barrier_counter
+        _barrier_counter += 1
+        self.system = system
+        self.on_release = on_release
+        self.size = size
+        n = system.n_ranks
+        self._pending = [len(binomial_children(v, n)) + 1 for v in range(n)]
+        self._tag_up = f"__barrier_up_{_barrier_counter}"
+        self._tag_down = f"__barrier_down_{_barrier_counter}"
+        for proc in system.processes:
+            proc.register(self._tag_up, self._on_up)
+            proc.register(self._tag_down, self._on_down)
+
+    def start(self) -> None:
+        """Arm the barrier: each rank arrives when its CPU drains."""
+        for proc in self.system.processes:
+            when = max(self.system.engine.now, proc.busy_until)
+            self.system.engine.schedule_at(when, self._arrive, proc.rank)
+
+    def _arrive(self, rank: int) -> None:
+        self._pending[rank] -= 1
+        self._maybe_send_up(rank)
+
+    def _on_up(self, proc: Process, msg: Message) -> None:
+        self._pending[proc.rank] -= 1
+        self._maybe_send_up(proc.rank)
+
+    def _maybe_send_up(self, rank: int) -> None:
+        if self._pending[rank] != 0:
+            return
+        self._pending[rank] = -1  # fired
+        if rank == 0:
+            self._release(0)
+            return
+        parent = binomial_parent(rank)
+        self.system.processes[rank].send(parent, self._tag_up, size=self.size)
+
+    def _release(self, rank: int) -> None:
+        self.on_release(rank, self.system.engine.now)
+        for child in binomial_children(rank, self.system.n_ranks):
+            self.system.processes[rank].send(child, self._tag_down, size=self.size)
+
+    def _on_down(self, proc: Process, msg: Message) -> None:
+        self._release(proc.rank)
+
+
+@dataclass
+class PhaseInstrumentation:
+    """Measured per-task loads, one vector per completed phase.
+
+    The balancer consumes ``latest()`` as its prediction for the next
+    phase — exactly the persistence assumption the paper leans on.
+    """
+
+    history: list[np.ndarray] = field(default_factory=list)
+    max_phases_kept: int = 8
+
+    def observe(self, task_loads: np.ndarray) -> None:
+        """Record one phase's measured per-task loads."""
+        self.history.append(np.array(task_loads, dtype=np.float64, copy=True))
+        if len(self.history) > self.max_phases_kept:
+            self.history.pop(0)
+
+    def latest(self) -> np.ndarray:
+        """The most recent phase's loads (the persistence prediction)."""
+        if not self.history:
+            raise RuntimeError("no phase has been instrumented yet")
+        return self.history[-1]
+
+    def smoothed(self, window: int = 3) -> np.ndarray:
+        """Mean of the last ``window`` phases (noise-robust prediction)."""
+        if not self.history:
+            raise RuntimeError("no phase has been instrumented yet")
+        recent = self.history[-window:]
+        return np.mean(recent, axis=0)
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.history)

@@ -1,0 +1,32 @@
+"""Discrete-event distributed-system substrate.
+
+The paper's balancers run inside DARMA/vt, an asynchronous many-task
+runtime over MPI. This package provides the deterministic simulation
+equivalent: logical rank processes exchanging timestamped active
+messages over a latency/bandwidth network model, with distributed
+termination detection (Safra's token ring and Dijkstra–Scholten) and
+binomial-tree reductions. :mod:`repro.runtime` builds the AMT runtime
+model on top.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.messages import Message
+from repro.sim.network import NetworkModel
+from repro.sim.process import Process, System
+from repro.sim.reductions import allreduce
+from repro.sim.rng import RankStreams
+from repro.sim.termination import DijkstraScholten, SafraDetector
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "DijkstraScholten",
+    "Engine",
+    "Message",
+    "NetworkModel",
+    "Process",
+    "RankStreams",
+    "SafraDetector",
+    "System",
+    "Tracer",
+    "allreduce",
+]

@@ -1,0 +1,33 @@
+"""Typed active messages exchanged between simulated ranks."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One active message.
+
+    ``tag`` routes the message to a registered handler on the
+    destination process (vt's "registered handler" dispatch). ``size``
+    is the wire size in bytes used by the network cost model.
+    """
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any = None
+    size: int = 64
+    send_time: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("message size must be non-negative")

@@ -1,0 +1,65 @@
+"""Network cost model.
+
+A two-level alpha-beta model matching the paper's testbed shape (four
+ranks per node over EDR InfiniBand): intra-node messages pay shared-
+memory latency/bandwidth; inter-node messages pay NIC latency and
+network bandwidth. Defaults approximate the published EDR numbers
+(~1 us latency, ~12 GB/s effective per-rank bandwidth) — absolute
+fidelity is not required, only that message cost scales as
+``alpha + size * beta`` so protocol costs have realistic shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth cost model with node locality."""
+
+    ranks_per_node: int = 4
+    intra_latency: float = 2e-7  #: seconds, shared memory
+    intra_bandwidth: float = 5e9  #: bytes/second
+    inter_latency: float = 1.2e-6  #: seconds, NIC + switch
+    inter_bandwidth: float = 1.2e10  #: bytes/second
+    self_latency: float = 5e-8  #: local delivery (scheduler hop)
+
+    def __post_init__(self) -> None:
+        check_positive("ranks_per_node", self.ranks_per_node)
+        check_nonnegative("intra_latency", self.intra_latency)
+        check_positive("intra_bandwidth", self.intra_bandwidth)
+        check_nonnegative("inter_latency", self.inter_latency)
+        check_positive("inter_bandwidth", self.inter_bandwidth)
+        check_nonnegative("self_latency", self.self_latency)
+
+    def node_of(self, rank: int) -> int:
+        """Node id hosting a rank (block mapping, as on the ARM cluster)."""
+        return rank // self.ranks_per_node
+
+    def latency(self, src: int, dst: int, size: int) -> float:
+        """Total transfer time for ``size`` bytes from ``src`` to ``dst``."""
+        return self.wire_latency(src, dst) + self.tx_seconds(src, dst, size)
+
+    def wire_latency(self, src: int, dst: int) -> float:
+        """The size-independent (alpha) component."""
+        if src == dst:
+            return self.self_latency
+        if self.node_of(src) == self.node_of(dst):
+            return self.intra_latency
+        return self.inter_latency
+
+    def tx_seconds(self, src: int, dst: int, size: int) -> float:
+        """The serialization (beta) component: time the sender's NIC is
+        occupied pushing ``size`` bytes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if src == dst:
+            return 0.0
+        if self.node_of(src) == self.node_of(dst):
+            return size / self.intra_bandwidth
+        return size / self.inter_bandwidth

@@ -1,0 +1,191 @@
+"""Logical rank processes and the system that hosts them.
+
+A :class:`Process` owns tagged message handlers (vt-style registered
+handlers) and a serialized execution model: arriving messages queue in a
+mailbox and execute one at a time, each charged the runtime's handler
+overhead plus whatever :meth:`Process.compute` time the handler spends.
+A :class:`System` wires ``P`` processes to one
+:class:`~repro.sim.engine.Engine` and one
+:class:`~repro.sim.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.sim.engine import Engine
+from repro.sim.messages import Message
+from repro.sim.network import NetworkModel
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["Process", "System"]
+
+Handler = Callable[["Process", Message], None]
+
+
+class Process:
+    """One simulated rank with a serialized message scheduler."""
+
+    def __init__(self, system: "System", rank: int) -> None:
+        self.system = system
+        self.rank = rank
+        self._handlers: dict[str, Handler] = {}
+        self._mailbox: deque[Message] = deque()
+        self._executing = False
+        #: Time until which this rank's CPU is occupied.
+        self.busy_until = 0.0
+        #: Accounting: cumulative compute seconds executed.
+        self.compute_time = 0.0
+        #: Accounting: messages sent / handler executions.
+        self.sent = 0
+        self.received = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no handler is running or queued on this rank."""
+        return not self._executing and not self._mailbox
+
+    def register(self, tag: str, handler: Handler) -> None:
+        """Install a handler for messages with ``tag``."""
+        if tag in self._handlers:
+            raise ValueError(f"handler already registered for tag {tag!r}")
+        self._handlers[tag] = handler
+
+    def send(self, dst: int, tag: str, payload: Any = None, size: int = 64) -> None:
+        """Send an active message; delivery time follows the network model."""
+        self.sent += 1
+        msg = Message(
+            src=self.rank,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            size=size,
+            send_time=self.system.engine.now,
+        )
+        self.system.transmit(msg)
+
+    def compute(self, duration: float) -> None:
+        """Occupy this rank's CPU for ``duration`` seconds."""
+        check_nonnegative("duration", duration)
+        start = max(self.system.engine.now, self.busy_until)
+        self.busy_until = start + duration
+        self.compute_time += duration
+        for hook in self.system._compute_hooks:
+            hook(self.rank, start, self.busy_until)
+
+    def deliver(self, msg: Message) -> None:
+        """Called by the system at wire-arrival time; the message queues
+        behind any handler currently executing on this rank."""
+        self._mailbox.append(msg)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._executing or not self._mailbox:
+            return
+        self._executing = True
+        start = max(self.system.engine.now, self.busy_until)
+        self.system.engine.schedule_at(start, self._execute)
+
+    def _execute(self) -> None:
+        msg = self._mailbox.popleft()
+        self.received += 1
+        self.compute(self.system.handler_overhead)
+        try:
+            handler = self._handlers[msg.tag]
+        except KeyError:
+            raise KeyError(
+                f"rank {self.rank} has no handler for tag {msg.tag!r}"
+            ) from None
+        handler(self, msg)
+        for hook in self.system._post_execute_hooks:
+            hook(self, msg)
+        self._executing = False
+        self._schedule_next()
+
+
+class System:
+    """``P`` processes + engine + network, with message accounting."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        network: NetworkModel | None = None,
+        handler_overhead: float = 2e-7,
+    ) -> None:
+        check_positive("n_ranks", n_ranks)
+        check_nonnegative("handler_overhead", handler_overhead)
+        self.engine = Engine()
+        self.network = network or NetworkModel()
+        #: Fixed CPU cost charged per handler execution (task creation /
+        #: scheduling overhead of the AMT runtime).
+        self.handler_overhead = handler_overhead
+        self.processes = [Process(self, r) for r in range(int(n_ranks))]
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        #: Per-rank NIC availability: a sender's outgoing bytes serialize,
+        #: and concurrent inbound streams contend at the receiver (in-cast).
+        self._nic_free = [0.0] * int(n_ranks)
+        self._rx_free = [0.0] * int(n_ranks)
+        #: Monitors (termination detectors hook in here).
+        self._transmit_hooks: list[Callable[[Message], None]] = []
+        self._deliver_hooks: list[Callable[[Message], None]] = []
+        self._post_execute_hooks: list[Callable[[Process, Message], None]] = []
+        self._compute_hooks: list[Callable[[int, float, float], None]] = []
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.processes)
+
+    def add_transmit_hook(self, hook: Callable[[Message], None]) -> None:
+        """Observe every message send (for termination detection)."""
+        self._transmit_hooks.append(hook)
+
+    def add_deliver_hook(self, hook: Callable[[Message], None]) -> None:
+        """Observe every message wire arrival."""
+        self._deliver_hooks.append(hook)
+
+    def add_post_execute_hook(self, hook: Callable[[Process, Message], None]) -> None:
+        """Observe handler completion (termination detectors hook here)."""
+        self._post_execute_hooks.append(hook)
+
+    def add_compute_hook(self, hook: Callable[[int, float, float], None]) -> None:
+        """Observe CPU occupancy: ``hook(rank, start, end)`` per compute."""
+        self._compute_hooks.append(hook)
+
+    def transmit(self, msg: Message) -> None:
+        """Route a message through the network to its destination."""
+        if not 0 <= msg.dst < self.n_ranks:
+            raise ValueError(f"destination rank {msg.dst} out of range")
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        for hook in self._transmit_hooks:
+            hook(msg)
+        # Sender-side NIC serialization: concurrent sends from one rank
+        # queue behind each other for their transmission (beta) time; the
+        # wire latency (alpha) then overlaps freely. At the destination,
+        # concurrent inbound streams contend for the receive NIC (in-cast):
+        # a stream completes no earlier than the previous stream's finish
+        # plus its own transmission time (pipelined LogGP-style gap).
+        now = self.engine.now
+        tx = self.network.tx_seconds(msg.src, msg.dst, msg.size)
+        depart = max(now, self._nic_free[msg.src]) + tx
+        self._nic_free[msg.src] = depart
+        arrival = depart + self.network.wire_latency(msg.src, msg.dst)
+        rx_done = max(arrival, self._rx_free[msg.dst] + tx)
+        self._rx_free[msg.dst] = rx_done
+        dest = self.processes[msg.dst]
+        self.engine.schedule_at(rx_done, self._arrive, dest, msg)
+
+    def _arrive(self, dest: Process, msg: Message) -> None:
+        for hook in self._deliver_hooks:
+            hook(msg)
+        dest.deliver(msg)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drive the engine; returns the final simulated time."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def max_busy(self) -> float:
+        """The latest CPU-busy time across ranks (phase makespan proxy)."""
+        return max(p.busy_until for p in self.processes)

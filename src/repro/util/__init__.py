@@ -1,0 +1,10 @@
+"""Small shared utilities (argument validation, RNG coercion)."""
+
+from repro.util.validation import (
+    check_in,
+    check_nonnegative,
+    check_positive,
+    coerce_rng,
+)
+
+__all__ = ["check_in", "check_nonnegative", "check_positive", "coerce_rng"]

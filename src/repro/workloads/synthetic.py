@@ -1,0 +1,102 @@
+"""Static synthetic task distributions.
+
+The headline generator is :func:`paper_analysis_scenario`, the § V-B
+test case: :math:`10^4` tasks placed on only :math:`2^4` of
+:math:`2^{12}` ranks, leaving the rest empty — initial imbalance around
+250–290 depending on the seed (the paper reports 280; the exact value
+depends on their load draw, which is not published).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distribution import Distribution
+from repro.util.validation import check_positive, coerce_rng
+
+__all__ = ["paper_analysis_scenario", "skewed_distribution", "random_distribution"]
+
+
+def paper_analysis_scenario(
+    n_tasks: int = 10_000,
+    n_loaded_ranks: int = 16,
+    n_ranks: int = 4096,
+    mean_load: float = 1.0,
+    load_cv: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> Distribution:
+    """The § V-B scenario: all tasks on a handful of ranks.
+
+    Tasks are placed uniformly at random on the first ``n_loaded_ranks``
+    ranks; loads are drawn from a gamma distribution with mean
+    ``mean_load`` and coefficient of variation ``load_cv`` (strictly
+    positive, right-skewed — typical of measured task durations).
+    """
+    check_positive("n_tasks", n_tasks)
+    check_positive("n_loaded_ranks", n_loaded_ranks)
+    check_positive("n_ranks", n_ranks)
+    if n_loaded_ranks > n_ranks:
+        raise ValueError("n_loaded_ranks cannot exceed n_ranks")
+    rng = coerce_rng(seed)
+    loads = _gamma_loads(rng, n_tasks, mean_load, load_cv)
+    assignment = rng.integers(0, n_loaded_ranks, size=n_tasks)
+    return Distribution(loads, assignment, n_ranks)
+
+
+def skewed_distribution(
+    n_tasks: int,
+    n_ranks: int,
+    skew: float = 2.0,
+    mean_load: float = 1.0,
+    load_cv: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> Distribution:
+    """Zipf-like placement: rank ``r`` attracts mass proportional to
+    ``(r+1)^-skew``. ``skew=0`` degenerates to uniform placement."""
+    check_positive("n_tasks", n_tasks)
+    check_positive("n_ranks", n_ranks)
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = coerce_rng(seed)
+    weights = (np.arange(1, n_ranks + 1, dtype=np.float64)) ** (-skew)
+    weights /= weights.sum()
+    assignment = rng.choice(n_ranks, size=n_tasks, p=weights)
+    loads = _gamma_loads(rng, n_tasks, mean_load, load_cv)
+    return Distribution(loads, assignment, n_ranks)
+
+
+def random_distribution(
+    n_tasks: int,
+    n_ranks: int,
+    mean_load: float = 1.0,
+    load_cv: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> Distribution:
+    """Uniform random placement — the low-imbalance control case."""
+    check_positive("n_tasks", n_tasks)
+    check_positive("n_ranks", n_ranks)
+    rng = coerce_rng(seed)
+    assignment = rng.integers(0, n_ranks, size=n_tasks)
+    loads = _gamma_loads(rng, n_tasks, mean_load, load_cv)
+    return Distribution(loads, assignment, n_ranks)
+
+
+def _gamma_loads(
+    rng: np.random.Generator, n: int, mean: float, cv: float
+) -> np.ndarray:
+    """Strictly positive loads with the requested mean and CV.
+
+    ``cv=0`` yields constant loads; otherwise a gamma draw with shape
+    ``1/cv^2`` (gamma CV is ``1/sqrt(shape)``).
+    """
+    check_positive("mean_load", mean)
+    if cv < 0:
+        raise ValueError("load_cv must be non-negative")
+    if cv == 0.0:
+        return np.full(n, mean)
+    shape = 1.0 / (cv * cv)
+    scale = mean / shape
+    loads = rng.gamma(shape, scale, size=n)
+    # Guard against pathological zero draws: the algorithms assume
+    # strictly positive task loads (a zero-load task is unmovable noise).
+    return np.maximum(loads, mean * 1e-9)

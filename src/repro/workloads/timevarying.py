@@ -1,0 +1,95 @@
+"""Time-varying workload models.
+
+These generators evolve per-task loads across phases, producing the kind
+of "time-varying imbalance" the paper targets: the load distribution
+changes slowly enough for the *principle of persistence* (§ III-B) to
+hold between consecutive phases, yet drifts far enough that a one-shot
+balance decays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive, coerce_rng
+
+__all__ = ["MovingHotspot", "PersistenceNoise"]
+
+
+class MovingHotspot:
+    """A Gaussian load hotspot drifting over a 1-D periodic task domain.
+
+    Task ``i`` sits at position ``i / n_tasks`` on the unit circle. At
+    phase ``t`` its load is::
+
+        base + amplitude * exp(-d(i, c(t))^2 / (2 sigma^2))
+
+    where ``c(t) = c0 + speed * t`` (mod 1) and ``d`` is circular
+    distance. ``speed`` controls how quickly persistence decays between
+    phases.
+    """
+
+    def __init__(
+        self,
+        n_tasks: int,
+        base: float = 1.0,
+        amplitude: float = 10.0,
+        sigma: float = 0.05,
+        speed: float = 0.002,
+        center0: float = 0.25,
+    ) -> None:
+        check_positive("n_tasks", n_tasks)
+        check_positive("base", base)
+        check_nonnegative("amplitude", amplitude)
+        check_positive("sigma", sigma)
+        check_nonnegative("speed", speed)
+        self.n_tasks = int(n_tasks)
+        self.base = float(base)
+        self.amplitude = float(amplitude)
+        self.sigma = float(sigma)
+        self.speed = float(speed)
+        self.center0 = float(center0) % 1.0
+        self._positions = np.arange(self.n_tasks, dtype=np.float64) / self.n_tasks
+
+    def center(self, phase: int) -> float:
+        """Hotspot center at the given phase."""
+        return (self.center0 + self.speed * phase) % 1.0
+
+    def loads(self, phase: int) -> np.ndarray:
+        """Per-task loads at the given phase."""
+        c = self.center(phase)
+        d = np.abs(self._positions - c)
+        d = np.minimum(d, 1.0 - d)  # circular distance
+        return self.base + self.amplitude * np.exp(-0.5 * (d / self.sigma) ** 2)
+
+    def persistence(self, phase: int) -> float:
+        """Correlation between this phase's loads and the next phase's —
+        a direct measure of the principle of persistence."""
+        a = self.loads(phase)
+        b = self.loads(phase + 1)
+        if a.std() == 0.0 or b.std() == 0.0:
+            return 1.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+
+class PersistenceNoise:
+    """Multiplicative noise applied to predicted loads.
+
+    Models the gap between the instrumented load of phase ``t`` (what the
+    balancer sees) and the actual load of phase ``t+1`` (what executes):
+    ``actual = predicted * lognormal(0, sigma)``. ``sigma=0`` is perfect
+    persistence.
+    """
+
+    def __init__(self, sigma: float = 0.0, seed: int | np.random.Generator | None = 0) -> None:
+        check_nonnegative("sigma", sigma)
+        self.sigma = float(sigma)
+        self._rng = coerce_rng(seed)
+
+    def perturb(self, predicted: np.ndarray) -> np.ndarray:
+        """Return the actual loads for predicted loads."""
+        predicted = np.asarray(predicted, dtype=np.float64)
+        if self.sigma == 0.0:
+            return predicted.copy()
+        factors = self._rng.lognormal(mean=0.0, sigma=self.sigma, size=predicted.shape)
+        return predicted * factors

@@ -1,0 +1,75 @@
+"""Property-based tests for the AMR quadtree and SFC utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.morton import morton_order, sfc_partition
+from repro.amr.quadtree import Block, QuadTree
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_steps=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_adaptation_preserves_invariants(seed, n_steps):
+    """Random desired-level fields never break coverage or 2:1 balance."""
+    rng = np.random.default_rng(seed)
+    tree = QuadTree(base_level=1, max_level=4)
+    for _ in range(n_steps):
+        wanted = {}
+
+        def desired(block, wanted=wanted):
+            key = (block.level, block.i, block.j)
+            if key not in wanted:
+                wanted[key] = int(rng.integers(1, 5))
+            return wanted[key]
+
+        tree.adapt(desired)
+        tree.check_invariants()
+        assert tree.n_leaves >= 4
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_leaves_unique_and_morton_sorted(seed):
+    rng = np.random.default_rng(seed)
+    tree = QuadTree(base_level=2, max_level=4)
+    tree.adapt(lambda b: int(rng.integers(2, 5)))
+    leaves = tree.leaves()
+    assert len(set(leaves)) == len(leaves)
+    keys = [b.key() for b in leaves]
+    assert keys == sorted(keys)
+
+
+@given(
+    n_parts=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_sfc_partition_contiguity_and_coverage(n_parts, seed):
+    """Curve segments are contiguous and part ids stay in range."""
+    rng = np.random.default_rng(seed)
+    level = 3
+    blocks = [(level, i, j) for i in range(8) for j in range(8)]
+    weights = rng.random(64) + 1e-3
+    parts = sfc_partition(blocks, weights, n_parts)
+    assert parts.min() >= 0 and parts.max() < n_parts
+    seq = [parts[k] for k in morton_order(blocks)]
+    assert seq == sorted(seq)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_parts=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_sfc_partition_weight_balance_bound(seed, n_parts):
+    """No part exceeds the average by more than one maximal block."""
+    rng = np.random.default_rng(seed)
+    blocks = [(3, i, j) for i in range(8) for j in range(8)]
+    weights = rng.random(64) + 1e-3
+    parts = sfc_partition(blocks, weights, n_parts)
+    per = np.bincount(parts, weights=weights, minlength=n_parts)
+    assert per.max() <= weights.sum() / n_parts + weights.max() + 1e-9

@@ -1,0 +1,101 @@
+"""Integration tests for the AMR mini-app (front + tree + mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.amr import AMRConfig, AMRSimulation, CircularFront
+from repro.amr.quadtree import Block, QuadTree
+
+
+def small_config(**kw):
+    defaults = dict(
+        n_ranks=8, base_level=2, max_level=4, n_phases=12, lb_period=3
+    )
+    defaults.update(kw)
+    return AMRConfig(**defaults)
+
+
+class TestCircularFront:
+    def test_desired_level_peaks_at_front(self):
+        front = CircularFront(
+            center=(0.5, 0.5), initial_radius=0.2, base_level=2, max_level=5
+        )
+        blocks = [Block(4, i, j) for i in range(16) for j in range(16)]
+        nearest = min(blocks, key=lambda b: front.distance_to_front(b, 0))
+        farthest = max(blocks, key=lambda b: front.distance_to_front(b, 0))
+        assert front.desired_level(nearest, 0) == 5
+        assert front.desired_level(farthest, 0) < front.desired_level(nearest, 0)
+
+    def test_front_expands(self):
+        front = CircularFront(initial_radius=0.1, speed=0.01)
+        assert front.radius(10) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircularFront(band=0.0)
+        with pytest.raises(ValueError):
+            CircularFront(base_level=5, max_level=3)
+
+
+class TestAMRSimulation:
+    def test_runs_and_adapts(self):
+        sim = AMRSimulation(small_config())
+        records = sim.run()
+        assert len(records) == 12
+        # The expanding front grows the block population.
+        assert records[-1].n_blocks > records[0].n_blocks
+        sim.tree.check_invariants()
+
+    def test_ownership_covers_all_leaves(self):
+        sim = AMRSimulation(small_config())
+        sim.run()
+        leaves = set(sim.tree.leaves())
+        assert set(sim.ownership) == leaves
+        assert all(0 <= r < 8 for r in sim.ownership.values())
+
+    def test_lb_steps_reduce_imbalance(self):
+        sim = AMRSimulation(small_config(n_phases=13))
+        records = sim.run()
+        lb_steps = [r.imbalance for r in records if r.phase % 3 == 0]
+        other = [r.imbalance for r in records if r.phase % 3 == 1 and r.phase > 0]
+        assert np.mean(lb_steps) <= np.mean(other) + 0.3
+
+    def test_sfc_mapping_runs(self):
+        sim = AMRSimulation(small_config(mapping="sfc"))
+        records = sim.run()
+        assert all(r.imbalance < 2.0 for r in records if r.phase % 3 == 0)
+
+    def test_balancer_migrates_less_than_sfc(self):
+        kwargs = dict(n_ranks=16, n_phases=20, lb_period=4, load_noise=0.5)
+        sfc = AMRSimulation(AMRConfig(mapping="sfc", **kwargs))
+        bal = AMRSimulation(AMRConfig(mapping="balancer", **kwargs))
+        sfc_mig = sum(r.migrations for r in sfc.run())
+        bal_mig = sum(r.migrations for r in bal.run())
+        assert bal_mig < sfc_mig
+
+    def test_load_noise_is_stable_per_block(self):
+        cfg = small_config(load_noise=1.0)
+        sim = AMRSimulation(cfg)
+        block = sim.tree.leaves()[5]
+        assert sim.block_load(block) == sim.block_load(block)
+
+    def test_subcycling_load_model(self):
+        sim = AMRSimulation(small_config())
+        coarse = Block(2, 0, 0)
+        fine = Block(4, 0, 0)
+        assert sim.block_load(fine) == pytest.approx(4 * sim.block_load(coarse))
+
+    def test_series_recorded(self):
+        sim = AMRSimulation(small_config())
+        sim.run()
+        assert sim.series.n_phases == 12
+        assert "makespan" in sim.series.keys()
+
+    def test_deterministic(self):
+        a = AMRSimulation(small_config(load_noise=0.5)).run()
+        b = AMRSimulation(small_config(load_noise=0.5)).run()
+        assert [r.imbalance for r in a] == [r.imbalance for r in b]
+
+    def test_invalid_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            AMRConfig(mapping="teleport")

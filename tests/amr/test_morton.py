@@ -1,0 +1,93 @@
+"""Unit tests for repro.amr.morton."""
+
+import numpy as np
+import pytest
+
+from repro.amr.morton import morton_key, morton_order, sfc_partition
+
+
+class TestMortonKey:
+    def test_z_order_at_one_level(self):
+        # Level-1 Z order: (0,0), (1,0), (0,1), (1,1).
+        keys = [morton_key(1, i, j) for (i, j) in [(0, 0), (1, 0), (0, 1), (1, 1)]]
+        assert keys == sorted(keys)
+
+    def test_parent_sorts_before_children(self):
+        parent = morton_key(1, 0, 0)
+        children = [morton_key(2, i, j) for i in (0, 1) for j in (0, 1)]
+        assert parent < min(children)
+
+    def test_children_contiguous(self):
+        # All of a parent's descendants sort between the parent and the
+        # next sibling at the parent's level.
+        next_sibling = morton_key(1, 1, 0)
+        children = [morton_key(2, i, j) for i in (0, 1) for j in (0, 1)]
+        assert max(children) < next_sibling
+
+    def test_distinct(self):
+        keys = {morton_key(3, i, j) for i in range(8) for j in range(8)}
+        assert len(keys) == 64
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            morton_key(1, 2, 0)
+        with pytest.raises(ValueError):
+            morton_key(30, 0, 0)
+
+
+class TestMortonOrder:
+    def test_orders_by_key(self):
+        blocks = [(1, 1, 1), (1, 0, 0), (1, 1, 0)]
+        order = morton_order(blocks)
+        assert [blocks[k] for k in order] == [(1, 0, 0), (1, 1, 0), (1, 1, 1)]
+
+    def test_locality(self):
+        # Consecutive blocks along the curve are spatially close on
+        # average (the locality property SFC mapping relies on).
+        blocks = [(4, i, j) for i in range(16) for j in range(16)]
+        order = morton_order(blocks)
+        dist = 0.0
+        for a, b in zip(order, order[1:]):
+            (_, i1, j1), (_, i2, j2) = blocks[a], blocks[b]
+            dist += abs(i1 - i2) + abs(j1 - j2)
+        assert dist / (len(order) - 1) < 3.0
+
+
+class TestSfcPartition:
+    def test_balanced_uniform_weights(self):
+        blocks = [(4, i, j) for i in range(16) for j in range(16)]
+        parts = sfc_partition(blocks, np.ones(256), 8)
+        counts = np.bincount(parts, minlength=8)
+        assert counts.min() >= 24 and counts.max() <= 40
+
+    def test_weighted_cut(self):
+        blocks = [(2, i, j) for i in range(4) for j in range(4)]
+        rng = np.random.default_rng(0)
+        weights = rng.random(16) + 0.1
+        parts = sfc_partition(blocks, weights, 4)
+        per = np.bincount(parts, weights=weights, minlength=4)
+        assert per.max() / per.mean() - 1 < 0.8  # coarse atoms: loose bound
+
+    def test_segments_contiguous_on_curve(self):
+        blocks = [(3, i, j) for i in range(8) for j in range(8)]
+        parts = sfc_partition(blocks, np.ones(64), 5)
+        order = morton_order(blocks)
+        seq = [parts[k] for k in order]
+        # Part ids are non-decreasing along the curve.
+        assert seq == sorted(seq)
+
+    def test_all_parts_used(self):
+        blocks = [(3, i, j) for i in range(8) for j in range(8)]
+        parts = sfc_partition(blocks, np.ones(64), 8)
+        assert set(parts) == set(range(8))
+
+    def test_zero_weights(self):
+        blocks = [(1, i, j) for i in (0, 1) for j in (0, 1)]
+        parts = sfc_partition(blocks, np.zeros(4), 2)
+        assert set(parts) <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one weight"):
+            sfc_partition([(1, 0, 0)], np.ones(2), 2)
+        with pytest.raises(ValueError):
+            sfc_partition([(1, 0, 0)], np.ones(1), 0)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.amr.quadtree."""
+
+import pytest
+
+from repro.amr.quadtree import Block, QuadTree
+
+
+class TestBlock:
+    def test_geometry(self):
+        b = Block(1, 1, 0)
+        assert b.size == 0.5
+        assert b.center() == (0.75, 0.25)
+
+    def test_children_cover_parent(self):
+        b = Block(1, 0, 1)
+        kids = b.children()
+        assert len(kids) == 4
+        assert all(k.parent() == b for k in kids)
+        assert sum(k.size**2 for k in kids) == pytest.approx(b.size**2)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            Block(0, 0, 0).parent()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(1, 2, 0)
+        with pytest.raises(ValueError):
+            Block(-1, 0, 0)
+
+
+class TestQuadTree:
+    def test_initial_uniform_grid(self):
+        tree = QuadTree(2, 4)
+        assert tree.n_leaves == 16
+        assert tree.total_area() == pytest.approx(1.0)
+
+    def test_refine_and_coarsen_roundtrip(self):
+        tree = QuadTree(1, 3)
+        block = tree.leaves()[0]
+        children = tree.refine(block)
+        assert tree.n_leaves == 7
+        assert not tree.is_leaf(block)
+        tree.coarsen(block)
+        assert tree.n_leaves == 4
+        assert tree.is_leaf(block)
+
+    def test_refine_non_leaf_rejected(self):
+        tree = QuadTree(1, 3)
+        block = tree.leaves()[0]
+        tree.refine(block)
+        with pytest.raises(ValueError, match="not a leaf"):
+            tree.refine(block)
+
+    def test_refine_beyond_max_rejected(self):
+        tree = QuadTree(1, 1)
+        with pytest.raises(ValueError, match="max_level"):
+            tree.refine(tree.leaves()[0])
+
+    def test_coarsen_below_base_rejected(self):
+        tree = QuadTree(1, 2)
+        with pytest.raises(ValueError, match="base level"):
+            tree.coarsen(Block(0, 0, 0))
+
+    def test_neighbors_uniform(self):
+        tree = QuadTree(2, 4)
+        corner = Block(2, 0, 0)
+        middle = Block(2, 1, 1)
+        assert len(tree.neighbors(corner)) == 2
+        assert len(tree.neighbors(middle)) == 4
+
+    def test_neighbors_across_levels(self):
+        tree = QuadTree(1, 3)
+        tree.refine(Block(1, 0, 0))
+        # The coarse block right of the refined one sees two finer
+        # face neighbors.
+        nbs = tree.neighbors(Block(1, 1, 0))
+        finer = [b for b in nbs if b.level == 2]
+        assert len(finer) == 2
+
+    def test_two_to_one_enforcement(self):
+        tree = QuadTree(1, 4)
+        # Refine one corner twice: its coarse neighbours now violate 2:1.
+        (c0, *_rest) = tree.refine(Block(1, 0, 0))
+        tree.refine(c0)
+        tree.enforce_two_to_one()
+        tree.check_invariants()
+
+    def test_adapt_refines_toward_target(self):
+        tree = QuadTree(2, 4)
+        hot = Block(2, 0, 0)
+        # Want depth 4 in the corner containing the origin (the (0, 0)
+        # block at every level), base elsewhere.
+        tree.adapt(lambda b: 4 if (b.i == 0 and b.j == 0) else 2)
+        assert not tree.is_leaf(hot)  # it refined
+        tree.check_invariants()
+
+    def test_adapt_coarsens_when_unneeded(self):
+        tree = QuadTree(1, 3)
+        tree.refine(Block(1, 0, 0))
+        ops = tree.adapt(lambda b: 1)
+        assert ops["coarsened"] >= 1
+        assert tree.n_leaves == 4
+        tree.check_invariants()
+
+    def test_area_conserved_through_adaptation(self):
+        tree = QuadTree(2, 5)
+        for phase in range(5):
+            tree.adapt(lambda b, p=phase: min(2 + (b.i + p) % 3, 5))
+            assert tree.total_area() == pytest.approx(1.0)
+            tree.check_invariants()
+
+    def test_covering_leaf(self):
+        tree = QuadTree(1, 3)
+        tree.refine(Block(1, 0, 0))
+        # A level-2 probe inside the unrefined block resolves coarser.
+        assert tree.covering_leaf(2, 3, 0) == Block(1, 1, 0)
+        # Inside the refined block it resolves at level 2.
+        assert tree.covering_leaf(2, 0, 0) == Block(2, 0, 0)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.analysis.plot (terminal plotting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import histogram, sparkline, strip_chart
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert list(out) == sorted(out)
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁" * 3
+
+    def test_nan_renders_space(self):
+        out = sparkline([1.0, np.nan, 2.0])
+        assert out[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "  "
+
+
+class TestStripChart:
+    def test_dimensions(self):
+        out = strip_chart({"a": np.arange(100.0)}, width=30, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 9  # height rows + legend
+        assert all("|" in line for line in lines[:-1])
+
+    def test_legend_lists_series(self):
+        out = strip_chart({"up": [0, 1], "down": [1, 0]}, width=10, height=4)
+        assert "up" in out and "down" in out
+
+    def test_extremes_annotated(self):
+        out = strip_chart({"a": [2.0, 10.0]}, width=10, height=4)
+        assert "10" in out and "2" in out
+
+    def test_log_scale(self):
+        out = strip_chart({"a": [1.0, 10.0, 100.0]}, width=9, height=4, logy=True)
+        assert "(log y)" in out
+        assert "100" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            strip_chart({})
+
+    def test_all_nan_series(self):
+        assert strip_chart({"a": [np.nan, np.nan]}) == "(no data)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strip_chart({"a": [1]}, width=0)
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=500)
+        out = histogram(values, bins=5)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in out.splitlines())
+        assert total == 500
+
+    def test_rows_match_bins(self):
+        out = histogram([1, 2, 3], bins=3)
+        assert len(out.splitlines()) == 3
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"

@@ -1,0 +1,52 @@
+"""Unit tests for repro.analysis.report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import lb_report
+from repro.core.greedy import GreedyLB
+from repro.core.tempered import TemperedLB
+from repro.workloads import paper_analysis_scenario
+
+
+@pytest.fixture()
+def dist():
+    return paper_analysis_scenario(n_tasks=300, n_loaded_ranks=4, n_ranks=32, seed=0)
+
+
+class TestLbReport:
+    def test_sections_present(self, dist):
+        result = TemperedLB(n_trials=1, n_iters=3).rebalance(dist, rng=1)
+        report = lb_report(dist, result)
+        assert "TemperedLB report" in report
+        assert "before:" in report and "after:" in report
+        assert "histogram" in report
+        assert "heaviest 5 ranks" in report
+        assert "iteration history" in report
+        assert "rejection rate" in report
+
+    def test_no_records_for_centralized(self, dist):
+        result = GreedyLB().rebalance(dist)
+        report = lb_report(dist, result)
+        assert "iteration history" not in report
+        assert "GreedyLB report" in report
+
+    def test_migration_percentage(self, dist):
+        result = GreedyLB().rebalance(dist)
+        pct = 100.0 * result.n_migrations / dist.n_tasks
+        assert f"({pct:.1f}% of tasks)" in lb_report(dist, result)
+
+    def test_mismatched_result_rejected(self, dist):
+        result = GreedyLB().rebalance(dist)
+        other = paper_analysis_scenario(n_tasks=10, n_loaded_ranks=2, n_ranks=4, seed=1)
+        with pytest.raises(ValueError, match="belong"):
+            lb_report(other, result)
+
+    def test_improvement_visible_in_stats(self, dist):
+        result = GreedyLB().rebalance(dist)
+        report = lb_report(dist, result)
+        before_line = next(l for l in report.splitlines() if l.strip().startswith("before"))
+        after_line = next(l for l in report.splitlines() if l.strip().startswith("after"))
+        i_before = float(before_line.split("I=")[1].split()[0])
+        i_after = float(after_line.split("I=")[1].split()[0])
+        assert i_after < i_before

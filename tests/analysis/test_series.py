@@ -1,0 +1,60 @@
+"""Unit tests for repro.analysis.series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PhaseSeries
+
+
+class TestPhaseSeries:
+    def test_record_and_read(self):
+        s = PhaseSeries()
+        s.record(time=1.0, imbalance=0.5)
+        s.record(time=2.0, imbalance=0.25)
+        np.testing.assert_allclose(s.series("time"), [1.0, 2.0])
+        assert s.n_phases == 2
+
+    def test_missing_metric_is_nan(self):
+        s = PhaseSeries()
+        s.record(time=1.0)
+        s.record(time=2.0, lb_cost=0.1)
+        lb = s.series("lb_cost")
+        assert np.isnan(lb[0]) and lb[1] == 0.1
+
+    def test_new_metric_backfills(self):
+        s = PhaseSeries()
+        s.record(a=1.0)
+        s.record(b=2.0)
+        assert np.isnan(s.series("b")[0])
+        assert np.isnan(s.series("a")[1])
+
+    def test_window(self):
+        s = PhaseSeries()
+        for i in range(10):
+            s.record(x=float(i))
+        np.testing.assert_allclose(s.window("x", 2, 5), [2.0, 3.0, 4.0])
+
+    def test_summary_ignores_nan(self):
+        s = PhaseSeries()
+        s.record(x=1.0)
+        s.record(y=5.0)
+        summ = s.summary()
+        assert summ["x"]["mean"] == 1.0
+        assert summ["y"]["max"] == 5.0
+
+    def test_summary_empty_metric(self):
+        s = PhaseSeries()
+        s.record(x=1.0)
+        s.metrics["ghost"] = [np.nan]
+        assert s.summary()["ghost"]["sum"] == 0.0
+
+    def test_to_rows(self):
+        s = PhaseSeries()
+        s.record(x=1.0)
+        rows = s.to_rows()
+        assert rows[0]["phase"] == 0
+        assert rows[0]["x"] == 1.0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            PhaseSeries().series("nope")

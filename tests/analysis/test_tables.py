@@ -1,0 +1,61 @@
+"""Unit tests for repro.analysis.tables."""
+
+from repro.analysis import format_comparison_table, format_iteration_table, format_rows
+from repro.analysis.experiment import CriterionStudy
+from repro.core.base import IterationRecord
+
+
+def make_records():
+    return [
+        IterationRecord(trial=1, iteration=1, transfers=10, rejections=90, imbalance=2.5),
+        IterationRecord(trial=1, iteration=2, transfers=0, rejections=50, imbalance=2.5),
+    ]
+
+
+class TestIterationTable:
+    def test_contains_all_rows(self):
+        out = format_iteration_table(make_records(), 8.0, title="study")
+        lines = out.splitlines()
+        assert lines[0] == "study"
+        # title + header + rule + iteration 0 + two records
+        assert len(lines) == 6
+
+    def test_iteration_zero_has_dashes(self):
+        out = format_iteration_table(make_records(), 8.0)
+        row0 = out.splitlines()[2]
+        assert row0.count("-") >= 3
+        assert "8" in row0
+
+    def test_rejection_rate_formatting(self):
+        out = format_iteration_table(make_records(), 8.0)
+        assert "90.00" in out  # 90/(10+90) = 90%
+        assert "100.00" in out  # 50/(0+50)
+
+
+class TestComparisonTable:
+    def test_columns_per_study(self):
+        studies = {
+            "Criterion 35": CriterionStudy("original", 8.0, make_records()),
+            "Criterion 37": CriterionStudy("relaxed", 8.0, make_records()[:1]),
+        }
+        out = format_comparison_table(studies)
+        assert "Criterion 35" in out and "Criterion 37" in out
+        # shorter study padded with a dash
+        assert out.splitlines()[-1].strip().endswith("-")
+
+
+class TestGenericRows:
+    def test_alignment_and_missing(self):
+        rows = [
+            {"Type": "SPMD", "t_total": 4762.0},
+            {"Type": "AMT w/TemperedLB", "t_total": 2546.0, "t_lb": 11.0},
+        ]
+        out = format_rows(rows, ["Type", "t_total", "t_lb"], title="Fig. 3")
+        lines = out.splitlines()
+        assert lines[0] == "Fig. 3"
+        assert "4762" in out and "2546" in out
+        assert "-" in lines[3]  # missing t_lb rendered as dash
+
+    def test_float_formatting(self):
+        out = format_rows([{"x": 1.23456789}], ["x"])
+        assert "1.235" in out

@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.baselines (RandomLB, RotateLB)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RandomLB, RotateLB
+from repro.core.distribution import Distribution
+from repro.core.greedy import GreedyLB
+from repro.workloads import paper_analysis_scenario
+
+
+class TestRandomLB:
+    def test_scatters_concentrated_load(self):
+        dist = paper_analysis_scenario(n_tasks=2000, n_loaded_ranks=2, n_ranks=32, seed=0)
+        res = RandomLB().rebalance(dist, rng=1)
+        assert res.final_imbalance < dist.imbalance()
+        # but nowhere near a real balancer
+        greedy = GreedyLB().rebalance(dist)
+        assert res.final_imbalance > greedy.final_imbalance
+
+    def test_conserves(self):
+        dist = paper_analysis_scenario(n_tasks=100, n_loaded_ranks=2, n_ranks=8, seed=1)
+        res = RandomLB().rebalance(dist, rng=2)
+        loads = np.bincount(res.assignment, weights=dist.task_loads, minlength=8)
+        assert loads.sum() == pytest.approx(dist.total_load)
+
+    def test_deterministic_with_seed(self):
+        dist = paper_analysis_scenario(n_tasks=100, n_loaded_ranks=2, n_ranks=8, seed=1)
+        a = RandomLB().rebalance(dist, rng=7)
+        b = RandomLB().rebalance(dist, rng=7)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+class TestRotateLB:
+    def test_migrates_everything_changes_nothing(self):
+        dist = Distribution([1.0, 2.0, 3.0], [0, 1, 2], n_ranks=3)
+        res = RotateLB().rebalance(dist)
+        assert res.n_migrations == 3
+        # Imbalance identical: the multiset of rank loads is unchanged.
+        assert res.final_imbalance == pytest.approx(res.initial_imbalance)
+
+    def test_rotation_direction(self):
+        dist = Distribution([1.0], [2], n_ranks=4)
+        res = RotateLB().rebalance(dist)
+        assert res.assignment[0] == 3
+
+    def test_wraps(self):
+        dist = Distribution([1.0], [3], n_ranks=4)
+        res = RotateLB().rebalance(dist)
+        assert res.assignment[0] == 0

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.cmf (Algorithm 2 BUILDCMF)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cmf import CMF_MODIFIED, CMF_ORIGINAL, build_cmf, sample_cmf
+
+
+class TestBuildOriginal:
+    def test_masses_proportional_to_headroom(self):
+        # loads 0 and 0.5 with l_ave 1: masses 1 and 0.5 -> cmf [2/3, 1]
+        cmf = build_cmf(np.array([0.0, 0.5]), 1.0, CMF_ORIGINAL)
+        np.testing.assert_allclose(cmf, [2 / 3, 1.0])
+
+    def test_last_entry_exactly_one(self):
+        cmf = build_cmf(np.random.default_rng(0).random(100), 2.0, CMF_ORIGINAL)
+        assert cmf[-1] == 1.0
+
+    def test_monotone_nondecreasing(self):
+        cmf = build_cmf(np.random.default_rng(1).random(50), 2.0, CMF_ORIGINAL)
+        assert (np.diff(cmf) >= 0).all()
+
+    def test_load_above_average_gets_zero_mass(self):
+        cmf = build_cmf(np.array([2.0, 0.0]), 1.0, CMF_ORIGINAL)
+        # candidate 0 has zero mass: cmf = [0, 1]
+        np.testing.assert_allclose(cmf, [0.0, 1.0])
+
+    def test_degenerate_all_at_average(self):
+        assert build_cmf(np.array([1.0, 1.0]), 1.0, CMF_ORIGINAL) is None
+
+    def test_empty(self):
+        assert build_cmf(np.array([]), 1.0, CMF_ORIGINAL) is None
+
+    def test_zero_average(self):
+        assert build_cmf(np.array([0.0]), 0.0, CMF_ORIGINAL) is None
+
+
+class TestBuildModified:
+    def test_handles_loads_above_average(self):
+        # l_s = max(1.0, 3.0) = 3 -> masses [1-2/3, 1-3/3] = [1/3, 0]
+        cmf = build_cmf(np.array([2.0, 3.0]), 1.0, CMF_MODIFIED)
+        np.testing.assert_allclose(cmf, [1.0, 1.0])
+
+    def test_reduces_to_original_when_all_below_average(self):
+        loads = np.array([0.1, 0.4, 0.7])
+        a = build_cmf(loads, 1.0, CMF_ORIGINAL)
+        b = build_cmf(loads, 1.0, CMF_MODIFIED)
+        np.testing.assert_allclose(a, b)
+
+    def test_degenerate_equal_loads_above_average(self):
+        # All masses zero: l_s = max load = every load.
+        assert build_cmf(np.array([5.0, 5.0]), 1.0, CMF_MODIFIED) is None
+
+    def test_unequal_loads_above_average_ok(self):
+        cmf = build_cmf(np.array([5.0, 4.0]), 1.0, CMF_MODIFIED)
+        assert cmf is not None
+        np.testing.assert_allclose(cmf, [0.0, 1.0])
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ValueError, match="cmf"):
+            build_cmf(np.array([0.5]), 1.0, "bogus")
+
+
+class TestSampling:
+    def test_respects_masses(self):
+        rng = np.random.default_rng(0)
+        cmf = build_cmf(np.array([0.0, 0.9]), 1.0, CMF_ORIGINAL)
+        picks = np.array([sample_cmf(cmf, rng) for _ in range(2000)])
+        # mass ratio 1 : 0.1 -> candidate 0 picked ~91% of the time
+        assert (picks == 0).mean() > 0.85
+
+    def test_single_candidate(self):
+        rng = np.random.default_rng(0)
+        cmf = build_cmf(np.array([0.0]), 1.0, CMF_ORIGINAL)
+        assert sample_cmf(cmf, rng) == 0
+
+    def test_never_out_of_range(self):
+        rng = np.random.default_rng(2)
+        cmf = build_cmf(np.linspace(0, 0.9, 10), 1.0, CMF_MODIFIED)
+        for _ in range(500):
+            assert 0 <= sample_cmf(cmf, rng) < 10

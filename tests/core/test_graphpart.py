@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.graphpart."""
+
+import numpy as np
+import pytest
+
+from repro.core.graphpart import (
+    AdjacencyGraph,
+    edge_cut,
+    grow_partition,
+    refine_partition,
+)
+
+
+def grid_graph(w, h):
+    """A w x h grid graph (the classic partitioning test case)."""
+    edges = []
+    for j in range(h):
+        for i in range(w):
+            v = j * w + i
+            if i + 1 < w:
+                edges.append((v, v + 1))
+            if j + 1 < h:
+                edges.append((v, v + w))
+    return AdjacencyGraph(w * h, np.array(edges))
+
+
+class TestAdjacencyGraph:
+    def test_neighbors_symmetric(self):
+        g = AdjacencyGraph(3, np.array([[0, 1], [1, 2]]))
+        assert list(g.neighbors(1)[0]) in ([0, 2], [2, 0])
+        assert list(g.neighbors(0)[0]) == [1]
+
+    def test_edge_weights(self):
+        g = AdjacencyGraph(2, np.array([[0, 1]]), edge_weights=np.array([5.0]))
+        _, w = g.neighbors(0)
+        assert w[0] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            AdjacencyGraph(2, np.array([[0, 5]]))
+        with pytest.raises(ValueError, match="self-loops"):
+            AdjacencyGraph(2, np.array([[1, 1]]))
+        with pytest.raises(ValueError, match="one weight per edge"):
+            AdjacencyGraph(2, np.array([[0, 1]]), edge_weights=np.ones(3))
+        with pytest.raises(ValueError, match="one weight per vertex"):
+            AdjacencyGraph(2, np.array([[0, 1]]), vertex_weights=np.ones(3))
+
+    def test_isolated_vertices_allowed(self):
+        g = AdjacencyGraph(4, np.array([[0, 1]]))
+        assert g.neighbors(3)[0].size == 0
+
+
+class TestGrowPartition:
+    def test_covers_all_vertices(self):
+        g = grid_graph(8, 8)
+        parts = grow_partition(g, 4, rng=0)
+        assert (parts >= 0).all() and (parts < 4).all()
+        assert set(parts) == {0, 1, 2, 3}
+
+    def test_balanced_counts(self):
+        g = grid_graph(10, 10)
+        parts = grow_partition(g, 4, rng=1)
+        counts = np.bincount(parts, minlength=4)
+        assert counts.min() >= 15 and counts.max() <= 35
+
+    def test_handles_disconnected_graph(self):
+        # Two disjoint paths.
+        g = AdjacencyGraph(6, np.array([[0, 1], [1, 2], [3, 4], [4, 5]]))
+        parts = grow_partition(g, 2, rng=2)
+        assert (parts >= 0).all()
+
+    def test_more_parts_than_vertices(self):
+        g = AdjacencyGraph(3, np.array([[0, 1], [1, 2]]))
+        parts = grow_partition(g, 10, rng=0)
+        assert (parts >= 0).all()
+
+    def test_weighted_vertices(self):
+        g = AdjacencyGraph(
+            4,
+            np.array([[0, 1], [1, 2], [2, 3]]),
+            vertex_weights=np.array([10.0, 1.0, 1.0, 10.0]),
+        )
+        parts = grow_partition(g, 2, rng=3)
+        per = np.zeros(2)
+        np.add.at(per, parts, g.vertex_weights)
+        assert per.max() / per.min() < 2.5
+
+
+class TestRefinePartition:
+    def test_never_worsens_cut(self):
+        g = grid_graph(12, 12)
+        rng = np.random.default_rng(4)
+        parts = rng.integers(0, 4, size=144)  # terrible random partition
+        refined = refine_partition(g, parts, 4, passes=4)
+        assert edge_cut(g, refined) < edge_cut(g, parts)
+
+    def test_respects_balance_limit(self):
+        g = grid_graph(10, 10)
+        parts = grow_partition(g, 4, rng=5)
+        refined = refine_partition(g, parts, 4, balance_tol=0.1)
+        counts = np.bincount(refined, minlength=4).astype(float)
+        assert counts.max() <= 1.1 * 25 + 1e-9
+
+    def test_good_partition_stable(self):
+        # Two halves of a path: already optimal; refinement must not move.
+        g = AdjacencyGraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        parts = np.array([0, 0, 1, 1])
+        refined = refine_partition(g, parts, 2)
+        np.testing.assert_array_equal(refined, parts)
+
+
+class TestEdgeCut:
+    def test_known_value(self):
+        g = AdjacencyGraph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert edge_cut(g, np.array([0, 0, 1, 1])) == 1.0
+        assert edge_cut(g, np.array([0, 1, 0, 1])) == 3.0
+
+    def test_grid_partition_quality(self):
+        # Grow+refine on a grid should land well below a random cut.
+        g = grid_graph(12, 12)
+        parts = refine_partition(g, grow_partition(g, 4, rng=6), 4)
+        rng = np.random.default_rng(7)
+        random_parts = rng.integers(0, 4, size=144)
+        assert edge_cut(g, parts) < 0.4 * edge_cut(g, random_parts)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    LoadStatistics,
+    imbalance,
+    load_statistics,
+    lower_bound_max_load,
+    objective,
+)
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance(np.array([2.0, 2.0, 2.0])) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        assert imbalance(np.array([4.0, 0.0])) == pytest.approx(1.0)
+
+    def test_empty_and_zero(self):
+        assert imbalance(np.array([])) == 0.0
+        assert imbalance(np.zeros(5)) == 0.0
+
+    def test_accepts_lists(self):
+        assert imbalance([1.0, 3.0]) == pytest.approx(0.5)
+
+
+class TestObjective:
+    def test_f_equals_imbalance_minus_h_plus_one(self):
+        loads = np.array([1.0, 2.0, 3.0])
+        h = 1.3
+        assert objective(loads, h) == pytest.approx(imbalance(loads) - h + 1.0)
+
+    def test_balanced_at_default_h_is_zero(self):
+        assert objective(np.array([1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert objective(np.array([]), h=2.0) == pytest.approx(-2.0)
+
+
+class TestLowerBound:
+    def test_average_dominates(self):
+        # ave = 2.0, heaviest task 0.5 -> bound is the average
+        assert lower_bound_max_load(np.array([1.0, 3.0]), np.array([0.5])) == 2.0
+
+    def test_heaviest_task_dominates(self):
+        assert lower_bound_max_load(np.array([1.0, 1.0]), np.array([5.0, 0.1])) == 5.0
+
+    def test_empty_tasks(self):
+        assert lower_bound_max_load(np.array([2.0, 4.0]), np.array([])) == 3.0
+
+
+class TestLoadStatistics:
+    def test_fields(self):
+        s = load_statistics(np.array([1.0, 2.0, 3.0]))
+        assert s.n_ranks == 3
+        assert s.total == 6.0
+        assert s.average == 2.0
+        assert s.maximum == 3.0
+        assert s.minimum == 1.0
+        assert s.imbalance == pytest.approx(0.5)
+        assert s.stddev == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_empty(self):
+        s = load_statistics(np.array([]))
+        assert s.n_ranks == 0
+        assert s.total == 0.0
+
+    def test_negative_rank_count_rejected(self):
+        with pytest.raises(ValueError):
+            LoadStatistics(-1, 0, 0, 0, 0, 0, 0)

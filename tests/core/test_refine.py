@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.refine and the strategy registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import Distribution
+from repro.core.greedy import GreedyLB
+from repro.core.refine import GreedyRefineLB, RefineLB
+from repro.core.registry import available_strategies, make_balancer
+from repro.workloads import paper_analysis_scenario, random_distribution
+
+
+def mild_imbalance(seed=0):
+    """Random placement with some spread: the RefineLB use case."""
+    return random_distribution(800, 16, load_cv=1.0, seed=seed)
+
+
+class TestRefineLB:
+    def test_brings_ranks_under_threshold(self):
+        dist = mild_imbalance()
+        res = RefineLB(threshold=1.1).rebalance(dist)
+        loads = np.bincount(res.assignment, weights=dist.task_loads, minlength=16)
+        # All ranks within the threshold (feasible for mild imbalance).
+        assert loads.max() <= 1.1 * dist.average_load + dist.task_loads.max()
+        assert res.final_imbalance < dist.imbalance()
+
+    def test_fewer_migrations_than_greedy(self):
+        dist = mild_imbalance(seed=1)
+        refine = RefineLB().rebalance(dist)
+        greedy = GreedyLB().rebalance(dist)
+        assert refine.n_migrations < 0.5 * greedy.n_migrations
+
+    def test_balanced_input_untouched(self):
+        dist = Distribution(np.ones(32), np.repeat(np.arange(8), 4), n_ranks=8)
+        res = RefineLB().rebalance(dist)
+        assert res.n_migrations == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RefineLB(threshold=0.9)
+        with pytest.raises(ValueError):
+            RefineLB(threshold=0.0)
+
+    def test_extreme_concentration_still_improves(self):
+        dist = paper_analysis_scenario(n_tasks=300, n_loaded_ranks=2, n_ranks=16, seed=2)
+        res = RefineLB().rebalance(dist)
+        assert res.final_imbalance < 0.2 * dist.imbalance()
+
+    def test_conserves(self):
+        dist = mild_imbalance(seed=3)
+        res = RefineLB().rebalance(dist)
+        loads = np.bincount(res.assignment, weights=dist.task_loads, minlength=16)
+        assert loads.sum() == pytest.approx(dist.total_load)
+
+
+class TestGreedyRefineLB:
+    def test_quality_matches_greedy_class(self):
+        dist = mild_imbalance(seed=4)
+        refine = GreedyRefineLB().rebalance(dist)
+        greedy = GreedyLB().rebalance(dist)
+        assert refine.final_imbalance < greedy.final_imbalance + 0.1
+
+    def test_migrates_less_than_greedy(self):
+        dist = mild_imbalance(seed=5)
+        refine = GreedyRefineLB(tolerance=0.1).rebalance(dist)
+        greedy = GreedyLB().rebalance(dist)
+        assert refine.n_migrations < greedy.n_migrations
+
+    def test_higher_tolerance_fewer_migrations(self):
+        dist = mild_imbalance(seed=6)
+        tight = GreedyRefineLB(tolerance=0.01).rebalance(dist)
+        loose = GreedyRefineLB(tolerance=0.5).rebalance(dist)
+        assert loose.n_migrations <= tight.n_migrations
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            GreedyRefineLB(tolerance=-0.1)
+
+    def test_conserves(self):
+        dist = mild_imbalance(seed=7)
+        res = GreedyRefineLB().rebalance(dist)
+        loads = np.bincount(res.assignment, weights=dist.task_loads, minlength=16)
+        assert loads.sum() == pytest.approx(dist.total_load)
+
+
+class TestRegistry:
+    def test_all_strategies_constructible(self):
+        for name in available_strategies():
+            lb = make_balancer(name)
+            assert lb.name
+
+    def test_kwargs_forwarded(self):
+        lb = make_balancer("tempered", n_trials=3, n_iters=2)
+        assert lb.config.n_trials == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_balancer("quantum")
+
+    def test_every_strategy_improves_concentrated_load(self):
+        dist = paper_analysis_scenario(n_tasks=400, n_loaded_ranks=4, n_ranks=32, seed=8)
+        for name in available_strategies():
+            if name == "rotate":  # rotation never changes the imbalance
+                continue
+            lb = make_balancer(name)
+            res = lb.rebalance(dist, rng=np.random.default_rng(0))
+            assert res.final_imbalance < dist.imbalance(), name

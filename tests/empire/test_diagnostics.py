@@ -1,0 +1,108 @@
+"""Unit tests for repro.empire.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.empire.diagnostics import (
+    DiagnosticsRecorder,
+    field_energy,
+    kinetic_energy,
+    particles_per_rank,
+    total_momentum,
+)
+from repro.empire.electrostatic import ElectrostaticStepper, PoissonSolver
+from repro.empire.mesh import Mesh2D
+from repro.empire.particles import ParticlePopulation
+
+
+def make_pop(velocities):
+    n = len(velocities)
+    pos = np.full((n, 2), 0.5)
+    return ParticlePopulation(pos, np.asarray(velocities, dtype=float))
+
+
+class TestScalars:
+    def test_kinetic_energy(self):
+        pop = make_pop([[3.0, 4.0]])  # |v|^2 = 25
+        assert kinetic_energy(pop) == pytest.approx(12.5)
+        assert kinetic_energy(pop, mass=2.0) == pytest.approx(25.0)
+
+    def test_total_momentum(self):
+        pop = make_pop([[1.0, 0.0], [-1.0, 2.0]])
+        np.testing.assert_allclose(total_momentum(pop), [0.0, 2.0])
+
+    def test_empty_population(self):
+        pop = ParticlePopulation.empty()
+        assert kinetic_energy(pop) == 0.0
+        np.testing.assert_allclose(total_momentum(pop), [0.0, 0.0])
+
+    def test_field_energy_zero_for_uniform(self):
+        solver = PoissonSolver(16, 16)
+        phi = solver.solve(np.full((16, 16), 2.0))
+        assert field_energy(solver, phi) == pytest.approx(0.0, abs=1e-18)
+
+    def test_field_energy_positive_for_blob(self):
+        solver = PoissonSolver(16, 16, sweeps=200)
+        rho = np.zeros((16, 16))
+        rho[8, 8] = 10.0
+        phi = solver.solve(rho)
+        assert field_energy(solver, phi) > 0.0
+
+    def test_particles_per_rank(self):
+        mesh = Mesh2D(4, colors_per_rank=1)
+        rng = np.random.default_rng(0)
+        pop = ParticlePopulation(rng.random((100, 2)), np.zeros((100, 2)))
+        per = particles_per_rank(pop, mesh, mesh.home_assignment())
+        assert per.sum() == 100
+
+
+class TestPhysicsSanity:
+    def test_momentum_roughly_conserved_in_free_space(self):
+        """The self-consistent field exerts ~zero net force on the whole
+        plasma (away from boundaries), so total momentum drifts slowly."""
+        rng = np.random.default_rng(1)
+        pos = 0.5 + rng.normal(0, 0.05, size=(2000, 2))
+        pos = np.clip(pos, 0.0, np.nextafter(1.0, 0))
+        vel = rng.normal(0, 1e-3, size=(2000, 2))
+        pop = ParticlePopulation(pos, vel)
+        stepper = ElectrostaticStepper(nx=32, ny=32, mobility=2e-4)
+        p0 = total_momentum(pop)
+        speed_scale = np.abs(pop.velocities).sum()
+        for _ in range(10):
+            stepper.step(pop)
+        drift = np.abs(total_momentum(pop) - p0).sum()
+        assert drift < 0.05 * speed_scale
+
+    def test_expansion_converts_field_to_kinetic_energy(self):
+        """A cold dense blob gains kinetic energy as it expands."""
+        rng = np.random.default_rng(2)
+        pos = 0.5 + rng.normal(0, 0.04, size=(3000, 2))
+        pos = np.clip(pos, 0.0, np.nextafter(1.0, 0))
+        pop = ParticlePopulation(pos, np.zeros((3000, 2)))
+        stepper = ElectrostaticStepper(nx=32, ny=32, mobility=1e-3)
+        assert kinetic_energy(pop) == 0.0
+        for _ in range(20):
+            stepper.step(pop)
+        assert kinetic_energy(pop) > 0.0
+
+
+class TestRecorder:
+    def test_cadence(self):
+        rec = DiagnosticsRecorder(interval=5)
+        pop = make_pop([[1.0, 0.0]])
+        hits = [rec.maybe_record(s, pop) for s in range(12)]
+        assert hits == [True] + [False] * 4 + [True] + [False] * 4 + [True, False]
+        assert rec.steps == [0, 5, 10]
+
+    def test_arrays(self):
+        rec = DiagnosticsRecorder(interval=1)
+        pop = make_pop([[1.0, 0.0]])
+        rec.maybe_record(0, pop)
+        rec.maybe_record(1, pop)
+        arrays = rec.as_arrays()
+        assert arrays["kinetic"].shape == (2,)
+        assert arrays["momentum"].shape == (2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiagnosticsRecorder(interval=0)

@@ -1,0 +1,130 @@
+"""Unit tests for the electrostatic PIC physics."""
+
+import numpy as np
+import pytest
+
+from repro.empire.electrostatic import (
+    ElectrostaticScenario,
+    ElectrostaticStepper,
+    PoissonSolver,
+)
+from repro.empire.mesh import Mesh2D
+from repro.empire.particles import ParticlePopulation
+from repro.empire.pic import PICSimulation
+
+
+class TestPoissonSolver:
+    def test_fourier_mode_analytic_solution(self):
+        # rho = sin(2 pi x): laplacian(phi) = -rho has
+        # phi = rho / (4 pi^2) on the periodic domain.
+        n = 64
+        solver = PoissonSolver(n, n, sweeps=4000)
+        x = (np.arange(n) + 0.5) / n
+        rho = np.tile(np.sin(2 * np.pi * x), (n, 1))
+        phi = solver.solve(rho)
+        expected = rho / (4 * np.pi**2)
+        assert np.abs(phi - expected).max() < 0.2 * np.abs(expected).max()
+
+    def test_uniform_charge_gives_zero_field(self):
+        solver = PoissonSolver(16, 16)
+        phi = solver.solve(np.full((16, 16), 3.0))
+        ex, ey = solver.field(phi)
+        assert np.abs(ex).max() < 1e-12
+        assert np.abs(ey).max() < 1e-12
+
+    def test_zero_mean_output(self):
+        solver = PoissonSolver(16, 16, sweeps=50)
+        rng = np.random.default_rng(0)
+        phi = solver.solve(rng.random((16, 16)))
+        assert abs(phi.mean()) < 1e-12
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            PoissonSolver(8, 8).solve(np.zeros((4, 4)))
+
+    def test_field_points_away_from_positive_blob(self):
+        # A positive charge blob: E points radially outward around it.
+        n = 32
+        solver = PoissonSolver(n, n, sweeps=800)
+        rho = np.zeros((n, n))
+        rho[16, 16] = 100.0
+        phi = solver.solve(rho)
+        ex, ey = solver.field(phi)
+        assert ex[16, 18] > 0  # right of the blob: E_x positive
+        assert ex[16, 14] < 0
+        assert ey[18, 16] > 0
+        assert ey[14, 16] < 0
+
+
+class TestElectrostaticStepper:
+    def test_deposit_conserves_charge(self):
+        stepper = ElectrostaticStepper(nx=16, ny=16, charge=2.0)
+        rng = np.random.default_rng(1)
+        pop = ParticlePopulation(rng.random((500, 2)), np.zeros((500, 2)))
+        rho = stepper.deposit(pop)
+        # Total deposited charge = charge (normalized by count and area).
+        cell_area = (1 / 16) ** 2
+        assert rho.sum() * cell_area == pytest.approx(2.0)
+
+    def test_blob_expands_under_self_repulsion(self):
+        rng = np.random.default_rng(2)
+        pos = 0.5 + rng.normal(0, 0.03, size=(2000, 2))
+        pos = np.clip(pos, 0.0, np.nextafter(1.0, 0))
+        pop = ParticlePopulation(pos, np.zeros((2000, 2)))
+        stepper = ElectrostaticStepper(nx=32, ny=32, mobility=1e-3)
+        spread0 = pop.positions.std(axis=0).mean()
+        for _ in range(30):
+            stepper.step(pop)
+        assert pop.positions.std(axis=0).mean() > 1.05 * spread0
+
+    def test_empty_population_noop(self):
+        stepper = ElectrostaticStepper(nx=8, ny=8)
+        pop = ParticlePopulation.empty()
+        stepper.step(pop)
+        assert pop.count == 0
+
+    def test_particles_stay_in_domain(self):
+        rng = np.random.default_rng(3)
+        pop = ParticlePopulation(rng.random((300, 2)), np.zeros((300, 2)))
+        stepper = ElectrostaticStepper(nx=16, ny=16, mobility=5e-3)
+        for _ in range(20):
+            stepper.step(pop)
+            assert pop.positions.min() >= 0 and pop.positions.max() < 1.0
+
+
+class TestElectrostaticScenario:
+    def test_pic_integration(self):
+        mesh = Mesh2D(16, colors_per_rank=4)
+        scen = ElectrostaticScenario(
+            initial_particles=2000, injection_per_step=20, nx=32, ny=32, seed=0
+        )
+        sim = PICSimulation(mesh, scen, mode="amt", seed=1)
+        series = sim.run(15)
+        assert series.n_phases == 15
+        # The blob starts concentrated: early imbalance is substantial.
+        assert series.series("imbalance")[0] > 1.0
+
+    def test_imbalance_decays_as_plasma_expands(self):
+        mesh = Mesh2D(16, colors_per_rank=4)
+        scen = ElectrostaticScenario(
+            initial_particles=3000,
+            injection_per_step=0,
+            blob_sigma=0.05,
+            nx=32,
+            ny=32,
+            mobility=2e-3,
+            seed=1,
+        )
+        sim = PICSimulation(mesh, scen, mode="amt", seed=2)
+        series = sim.run(40)
+        imb = series.series("imbalance")
+        assert imb[-1] < imb[0]
+
+    def test_deterministic(self):
+        def run():
+            mesh = Mesh2D(9, colors_per_rank=4)
+            scen = ElectrostaticScenario(initial_particles=500, nx=16, ny=16, seed=5)
+            return PICSimulation(mesh, scen, mode="spmd", seed=6).run(5)
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.series("t_particle"), b.series("t_particle"))

@@ -1,0 +1,125 @@
+"""Unit tests for repro.empire.repartition (the conventional baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import Distribution
+from repro.empire.app import EmpireConfig, run_empire
+from repro.empire.mesh import Mesh2D
+from repro.empire.repartition import RCBLB, rcb_partition, repartition_cost_model
+
+
+class TestRCBPartition:
+    def test_partition_covers_all_parts(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((500, 2))
+        parts = rcb_partition(pts, np.ones(500), 8)
+        assert set(np.unique(parts)) == set(range(8))
+
+    def test_weighted_balance(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((2000, 2))
+        w = rng.random(2000)
+        parts = rcb_partition(pts, w, 16)
+        per = np.bincount(parts, weights=w, minlength=16)
+        assert per.max() / per.mean() - 1 < 0.15
+
+    def test_skewed_weights_balanced(self):
+        # Heavy corner: RCB must cut finer there.
+        rng = np.random.default_rng(2)
+        pts = rng.random((3000, 2))
+        w = np.exp(-10 * (pts[:, 0] + pts[:, 1]))
+        parts = rcb_partition(pts, w, 8)
+        per = np.bincount(parts, weights=w, minlength=8)
+        assert per.max() / per.mean() - 1 < 0.5
+
+    def test_geometric_locality(self):
+        # Parts are contiguous-ish: each part's bounding box should not
+        # cover the whole domain (for a non-trivial split).
+        rng = np.random.default_rng(3)
+        pts = rng.random((4000, 2))
+        parts = rcb_partition(pts, np.ones(4000), 4)
+        for p in range(4):
+            box = pts[parts == p]
+            area = np.prod(box.max(axis=0) - box.min(axis=0))
+            assert area < 0.6
+
+    def test_single_part(self):
+        pts = np.random.default_rng(4).random((10, 2))
+        assert (rcb_partition(pts, np.ones(10), 1) == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            rcb_partition(np.ones(4), np.ones(4), 2)
+        with pytest.raises(ValueError, match="one weight"):
+            rcb_partition(np.ones((4, 2)), np.ones(3), 2)
+        with pytest.raises(ValueError):
+            rcb_partition(np.ones((4, 2)), np.ones(4), 0)
+
+    def test_zero_weights_split_by_count(self):
+        pts = np.random.default_rng(5).random((64, 2))
+        parts = rcb_partition(pts, np.zeros(64), 4)
+        counts = np.bincount(parts, minlength=4)
+        assert counts.min() >= 8
+
+
+class TestRCBLB:
+    def test_balances_hotspot(self):
+        mesh = Mesh2D(16, colors_per_rank=24)
+        centers = mesh.color_centers()
+        loads = 0.1 + 10.0 * np.exp(
+            -((centers[:, 0] - 0.3) ** 2 + (centers[:, 1] - 0.5) ** 2) / (2 * 0.1**2)
+        )
+        dist = Distribution(loads, mesh.home_assignment(), mesh.n_ranks)
+        res = RCBLB(mesh).rebalance(dist)
+        # RCB is granularity-limited by whole-color atoms near the
+        # hotspot; ~0.3 is its floor here.
+        assert res.final_imbalance < 0.5
+        assert res.final_imbalance < 0.2 * dist.imbalance()
+
+    def test_mesh_mismatch_rejected(self):
+        mesh = Mesh2D(4, colors_per_rank=2)
+        dist = Distribution(np.ones(5), np.zeros(5, dtype=int), 4)
+        with pytest.raises(ValueError, match="colors"):
+            RCBLB(mesh).rebalance(dist)
+
+
+class TestRepartitionConfiguration:
+    def test_rcb_config_runs(self):
+        run = run_empire(
+            EmpireConfig(
+                configuration="rcb",
+                n_ranks=16,
+                colors_per_rank=6,
+                n_steps=30,
+                lb_period=10,
+                initial_particles=2000,
+                injection_per_step=20,
+            )
+        )
+        assert run.config.label == "SPMD w/RCB repartition"
+        assert run.t_lb > 0  # repartitions happened
+        assert run.extra["lb_invocations"] == 3
+
+    def test_rcb_cost_dwarfs_incremental(self):
+        base = dict(
+            n_ranks=16,
+            colors_per_rank=6,
+            n_steps=30,
+            lb_period=10,
+            initial_particles=2000,
+            injection_per_step=20,
+            n_trials=1,
+            n_iters=2,
+        )
+        rcb = run_empire(EmpireConfig(configuration="rcb", **base))
+        tempered = run_empire(EmpireConfig(configuration="tempered", **base))
+        assert rcb.t_lb > 3 * tempered.t_lb
+
+    def test_cost_model_is_heavier(self):
+        conventional = repartition_cost_model()
+        from repro.empire.pic import LBCostModel
+
+        incremental = LBCostModel()
+        assert conventional.color_fixed_bytes > incremental.color_fixed_bytes
+        assert conventional.rdma_resize_seconds > incremental.rdma_resize_seconds

@@ -1,0 +1,103 @@
+"""Unit tests for repro.empire.unstructured."""
+
+import numpy as np
+import pytest
+
+from repro.core.tempered import TemperedLB
+from repro.empire.bdot import BDotScenario
+from repro.empire.pic import PICSimulation
+from repro.empire.unstructured import UnstructuredMesh2D
+from repro.empire.workload import ColorWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return UnstructuredMesh2D(9, colors_per_rank=4, n_points=900, seed=0)
+
+
+class TestConstruction:
+    def test_colors_partition_cells(self, mesh):
+        assert mesh.n_colors == 36
+        assert mesh.cells_per_color.sum() == mesh.n_cells
+        assert (mesh.cells_per_color > 0).all()
+
+    def test_coloring_respects_ranks(self, mesh):
+        # Every cell's color belongs to the cell's rank.
+        np.testing.assert_array_equal(
+            mesh.cell_color // mesh.colors_per_rank, mesh.cell_rank
+        )
+
+    def test_rank_partition_balanced(self, mesh):
+        counts = np.bincount(mesh.cell_rank, minlength=9)
+        assert counts.min() > 0.6 * counts.mean()
+        assert counts.max() < 1.4 * counts.mean()
+
+    def test_too_few_triangles_rejected(self):
+        with pytest.raises(ValueError, match="raise n_points"):
+            UnstructuredMesh2D(64, colors_per_rank=24, n_points=100)
+
+
+class TestBinning:
+    def test_positions_map_to_valid_colors(self, mesh):
+        rng = np.random.default_rng(1)
+        colors = mesh.color_of_position(rng.random(2000), rng.random(2000))
+        assert colors.min() >= 0 and colors.max() < mesh.n_colors
+
+    def test_centroid_maps_to_own_color(self, mesh):
+        centroids = mesh.cell_centroids()
+        # sample some interior cells
+        idx = np.arange(0, mesh.n_cells, 7)
+        colors = mesh.color_of_position(centroids[idx, 0], centroids[idx, 1])
+        np.testing.assert_array_equal(colors, mesh.cell_color[idx])
+
+    def test_corner_positions_covered(self, mesh):
+        eps = 1e-9
+        xs = np.array([eps, eps, 1 - eps, 1 - eps, 0.5])
+        ys = np.array([eps, 1 - eps, eps, 1 - eps, 0.5])
+        colors = mesh.color_of_position(xs, ys)
+        assert (colors >= 0).all()
+
+
+class TestCommGraph:
+    def test_edges_between_distinct_colors(self, mesh):
+        graph = mesh.neighbor_comm_graph()
+        assert graph.n_edges > 0
+        assert (graph.src != graph.dst).all()
+
+    def test_home_mapping_is_local(self, mesh):
+        # The nested partitioning keeps most color adjacency within a
+        # rank's own colors, so the home mapping's off-rank fraction is
+        # well below a scattered mapping's.
+        graph = mesh.neighbor_comm_graph()
+        home = mesh.home_assignment()
+        scattered = np.arange(mesh.n_colors) % mesh.n_ranks
+        assert graph.off_rank_volume(home) < 0.8 * graph.off_rank_volume(scattered)
+
+
+class TestPICIntegration:
+    def test_pic_runs_on_unstructured_mesh(self, mesh):
+        scen = BDotScenario(initial_particles=2000, injection_per_step=20, seed=2)
+        sim = PICSimulation(
+            mesh,
+            scen,
+            workload=ColorWorkloadModel(),
+            mode="amt",
+            balancer=TemperedLB(n_trials=1, n_iters=3, fanout=3, rounds=4),
+            lb_schedule=lambda s: s == 2 or (s > 2 and s % 10 == 0),
+            seed=3,
+        )
+        series = sim.run(25)
+        imb = series.series("imbalance")
+        assert imb[20] < imb[1]
+
+    def test_variable_cells_per_color_in_load_model(self, mesh):
+        model = ColorWorkloadModel(seconds_per_particle=0.0, seconds_per_cell=1.0)
+        loads = model.loads_from_counts(mesh, np.zeros(mesh.n_colors, dtype=int))
+        # Load floor tracks the per-color cell counts (non-uniform).
+        np.testing.assert_allclose(loads, mesh.cells_per_color.astype(float))
+        assert loads.std() > 0
+
+    def test_deterministic(self):
+        a = UnstructuredMesh2D(4, colors_per_rank=3, n_points=300, seed=9)
+        b = UnstructuredMesh2D(4, colors_per_rank=3, n_points=300, seed=9)
+        np.testing.assert_array_equal(a.cell_color, b.cell_color)

@@ -1,0 +1,70 @@
+"""Integration tests for the event-level EMPIRE runner."""
+
+import numpy as np
+import pytest
+
+from repro.empire.vt_mode import VtEmpireConfig, VtEmpireResult, run_vt_empire
+
+
+def small(**kw):
+    defaults = dict(
+        n_ranks=8,
+        colors_per_rank=4,
+        n_steps=16,
+        lb_period=5,
+        initial_particles=1000,
+        injection_per_step=10,
+    )
+    defaults.update(kw)
+    return VtEmpireConfig(**defaults)
+
+
+class TestVtEmpire:
+    def test_runs_and_records_every_step(self):
+        result = run_vt_empire(small())
+        assert result.series.n_phases == 16
+        assert result.total_time > 0
+
+    def test_lb_improves_imbalance(self):
+        balanced = run_vt_empire(small(balance=True))
+        unbalanced = run_vt_empire(small(balance=False))
+        i_bal = balanced.series.series("imbalance")
+        i_not = unbalanced.series.series("imbalance")
+        assert i_bal[10:].mean() < 0.5 * i_not[10:].mean()
+
+    def test_lb_reduces_total_time(self):
+        balanced = run_vt_empire(small(balance=True))
+        unbalanced = run_vt_empire(small(balance=False))
+        assert balanced.total_time < unbalanced.total_time
+
+    def test_lb_episodes_follow_schedule(self):
+        result = run_vt_empire(small())
+        # steps 2, 5, 10, 15 (period 5, first 2)
+        assert result.lb_episodes == 4
+        t_lb = result.series.series("t_lb")
+        assert t_lb[2] > 0 and t_lb[5] > 0
+        assert t_lb[3] == 0
+
+    def test_protocol_accounting(self):
+        result = run_vt_empire(small())
+        assert result.gossip_messages > 0
+        assert result.migrations > 0
+        assert 0 < result.lb_time < result.total_time
+
+    def test_particles_grow(self):
+        result = run_vt_empire(small())
+        n = result.series.series("n_particles")
+        assert n[-1] > n[0]
+
+    def test_deterministic(self):
+        a = run_vt_empire(small())
+        b = run_vt_empire(small())
+        assert a.total_time == b.total_time
+        np.testing.assert_array_equal(
+            a.series.series("imbalance"), b.series.series("imbalance")
+        )
+
+    def test_lb_time_small_fraction(self):
+        # The t_lb << t_total property of Fig. 3 holds at event level too.
+        result = run_vt_empire(small(n_steps=30))
+        assert result.lb_time < 0.25 * result.total_time

@@ -1,0 +1,99 @@
+"""Unit tests for repro.md.cells."""
+
+import numpy as np
+import pytest
+
+from repro.md.cells import CellGrid
+
+
+class TestBinning:
+    def test_cell_of_position(self):
+        grid = CellGrid(4, 4)
+        cells = grid.cell_of_position(np.array([[0.0, 0.0], [0.9, 0.9], [0.3, 0.6]]))
+        np.testing.assert_array_equal(cells, [0, 15, 9])
+
+    def test_counts_conserve(self):
+        grid = CellGrid(8, 8)
+        rng = np.random.default_rng(0)
+        counts = grid.counts(rng.random((500, 2)))
+        assert counts.sum() == 500
+
+    def test_position_validation(self):
+        grid = CellGrid(2, 2)
+        with pytest.raises(ValueError, match="shape"):
+            grid.cell_of_position(np.zeros(3))
+        with pytest.raises(ValueError, match="0, 1"):
+            grid.cell_of_position(np.array([[1.5, 0.0]]))
+
+    def test_empty(self):
+        grid = CellGrid(2, 2)
+        assert grid.counts(np.empty((0, 2))).sum() == 0
+
+
+class TestLoadModel:
+    def test_quadratic_self_term(self):
+        grid = CellGrid(4, 4, self_cost=2.0, pair_cost=0.0)
+        counts = np.zeros(16)
+        counts[5] = 3
+        loads = grid.loads_from_counts(counts)
+        assert loads[5] == pytest.approx(2.0 * 9 / 2)
+        assert loads.sum() == pytest.approx(loads[5])
+
+    def test_pair_term_with_neighbors(self):
+        grid = CellGrid(4, 4, self_cost=0.0, pair_cost=1.0)
+        counts = np.zeros(16)
+        counts[5] = 2  # (1,1)
+        counts[6] = 3  # (2,1), adjacent
+        loads = grid.loads_from_counts(counts)
+        # cell 5 pays n5 * n6 / 2 = 3; cell 6 pays the same.
+        assert loads[5] == pytest.approx(3.0)
+        assert loads[6] == pytest.approx(3.0)
+
+    def test_periodic_neighborhood(self):
+        grid = CellGrid(4, 4, self_cost=0.0, pair_cost=1.0)
+        counts = np.zeros(16)
+        counts[0] = 2  # (0,0)
+        counts[3] = 5  # (3,0) — periodic neighbour of (0,0)
+        loads = grid.loads_from_counts(counts)
+        assert loads[0] == pytest.approx(5.0)
+
+    def test_total_energy_symmetry(self):
+        # Summing per-cell loads counts each pair interaction once.
+        grid = CellGrid(6, 6, self_cost=0.0, pair_cost=1.0)
+        rng = np.random.default_rng(1)
+        counts = rng.integers(0, 10, size=36).astype(float)
+        loads = grid.loads_from_counts(counts)
+        # Independent computation: sum over ordered pairs / 2.
+        g = counts.reshape(6, 6)
+        total = 0.0
+        for dj, di in ((0, 1), (0, -1), (1, 0), (-1, 0), (1, 1), (1, -1), (-1, 1), (-1, -1)):
+            total += (g * np.roll(np.roll(g, dj, axis=0), di, axis=1)).sum()
+        assert loads.sum() == pytest.approx(total / 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="one count per cell"):
+            CellGrid(2, 2).loads_from_counts(np.zeros(5))
+
+
+class TestCommGraph:
+    def test_edges_cover_8_neighborhood(self):
+        grid = CellGrid(4, 4)
+        graph = grid.comm_graph(np.ones(16))
+        # 16 cells x 8 neighbours / 2 = 64 edges on the periodic grid.
+        assert graph.n_edges == 64
+
+    def test_volume_tracks_occupancy(self):
+        grid = CellGrid(4, 4)
+        counts = np.zeros(16)
+        counts[5] = 10
+        graph = grid.comm_graph(counts, bytes_per_atom=1.0)
+        # Edges touching cell 5 carry volume 10; others 0.
+        touching = (graph.src == 5) | (graph.dst == 5)
+        assert (graph.volume[touching] == 10.0).all()
+        assert graph.volume[~touching].sum() == 0.0
+
+    def test_home_assignment_blocked(self):
+        grid = CellGrid(4, 4)
+        home = grid.home_assignment(4)
+        assert home.shape == (16,)
+        np.testing.assert_array_equal(np.bincount(home), [4, 4, 4, 4])

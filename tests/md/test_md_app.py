@@ -1,0 +1,96 @@
+"""Tests for the MD scenario and phase driver."""
+
+import numpy as np
+import pytest
+
+from repro.md import CellGrid, DropletScenario, MDConfig, MDSimulation
+
+
+class TestDropletScenario:
+    def test_particles_in_domain(self):
+        scen = DropletScenario(n_particles=500, seed=0)
+        for _ in range(10):
+            scen.step()
+            assert scen.positions.min() >= 0.0 and scen.positions.max() < 1.0
+
+    def test_initially_clustered(self):
+        scen = DropletScenario(n_particles=5000, droplet_fraction=0.8, seed=1)
+        grid = CellGrid(16, 16)
+        counts = grid.counts(scen.positions)
+        # Dense droplets: the top 10% of cells hold > 40% of particles.
+        top = np.sort(counts)[-26:]
+        assert top.sum() > 0.4 * 5000
+
+    def test_persistence_high_for_slow_dynamics(self):
+        scen = DropletScenario(n_particles=5000, drift_speed=1e-3, diffusion=1e-4, seed=2)
+        grid = CellGrid(16, 16)
+        assert scen.persistence(grid) > 0.95
+
+    def test_persistence_probe_restores_state(self):
+        scen = DropletScenario(n_particles=200, seed=3)
+        before = scen.positions.copy()
+        grid = CellGrid(8, 8)
+        scen.persistence(grid)
+        np.testing.assert_array_equal(scen.positions, before)
+        # Subsequent evolution unaffected by the probe.
+        scen.step()
+        a = scen.positions.copy()
+        scen2 = DropletScenario(n_particles=200, seed=3)
+        scen2.step()
+        np.testing.assert_array_equal(a, scen2.positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DropletScenario(droplet_fraction=1.5)
+        with pytest.raises(ValueError):
+            DropletScenario(n_droplets=0)
+
+
+class TestMDSimulation:
+    def small(self, **kw):
+        defaults = dict(
+            n_ranks=8, gx=16, gy=16, n_phases=12, lb_period=3, n_particles=3000
+        )
+        defaults.update(kw)
+        return MDConfig(**defaults)
+
+    def test_runs_and_records(self):
+        sim = MDSimulation(self.small())
+        series = sim.run()
+        assert series.n_phases == 12
+        assert "off_rank_volume" in series.keys()
+
+    def test_balancing_beats_home_mapping(self):
+        balanced = MDSimulation(self.small())
+        balanced.run()
+        static = MDSimulation(self.small(lb_period=1000))  # LB never fires
+        static.run()
+        assert (
+            balanced.series.series("imbalance")[6:].mean()
+            < 0.7 * static.series.series("imbalance")[6:].mean()
+        )
+
+    def test_comm_aware_reduces_off_rank_volume(self):
+        plain = MDSimulation(self.small(comm_aware=False))
+        plain.run()
+        aware = MDSimulation(self.small(comm_aware=True))
+        aware.run()
+        assert (
+            aware.series.series("off_rank_volume")[6:].mean()
+            < plain.series.series("off_rank_volume")[6:].mean()
+        )
+
+    def test_deterministic(self):
+        a = MDSimulation(self.small()).run()
+        b = MDSimulation(self.small()).run()
+        np.testing.assert_array_equal(a.series("imbalance"), b.series("imbalance"))
+
+    def test_n2_cost_concentration(self):
+        # The quadratic cost makes load imbalance much sharper than
+        # particle-count imbalance — the MD-specific stressor.
+        sim = MDSimulation(self.small())
+        counts = sim.grid.counts(sim.scenario.positions).astype(float)
+        loads = sim.grid.loads_from_counts(counts)
+        count_i = counts.max() / counts.mean() - 1
+        load_i = loads.max() / loads.mean() - 1
+        assert load_i > 1.5 * count_i

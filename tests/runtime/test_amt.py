@@ -1,0 +1,97 @@
+"""Unit tests for repro.runtime.amt."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.amt import AMTRuntime
+
+
+def make_runtime(**kw):
+    # 4 ranks, 8 tasks, two per rank
+    loads = np.array([1.0, 2.0, 3.0, 4.0, 1.0, 1.0, 1.0, 1.0])
+    assignment = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+    return AMTRuntime(4, loads, assignment, **kw)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            AMTRuntime(2, np.ones(3), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError, match="lie in"):
+            AMTRuntime(2, np.ones(2), np.array([0, 5]))
+
+    def test_rank_loads(self):
+        rt = make_runtime()
+        np.testing.assert_allclose(rt.rank_loads(), [3.0, 7.0, 2.0, 2.0])
+
+
+class TestPhaseExecution:
+    def test_phase_duration_tracks_makespan(self):
+        rt = make_runtime()
+        result = rt.execute_phase()
+        # Slowest rank has 7.0 of work; barrier adds small network time.
+        assert result.makespan == pytest.approx(7.0)
+        assert result.duration >= 7.0
+        assert result.duration < 7.1
+
+    def test_task_overhead_increases_time(self):
+        plain = make_runtime().execute_phase()
+        with_oh = make_runtime(task_overhead=0.5).execute_phase()
+        # Rank 1 has 2 tasks: makespan 7.0 + 2*0.5 = 8.0
+        assert with_oh.makespan == pytest.approx(8.0)
+        assert with_oh.duration > plain.duration
+
+    def test_phase_imbalance(self):
+        rt = make_runtime()
+        result = rt.execute_phase()
+        # loads [3,7,2,2]: ave 3.5, max 7 -> I = 1.0
+        assert result.imbalance() == pytest.approx(1.0)
+
+    def test_phases_accumulate_clock(self):
+        rt = make_runtime()
+        r1 = rt.execute_phase()
+        r2 = rt.execute_phase()
+        assert r2.start_time >= r1.end_time
+        assert r2.phase_index == 1
+
+    def test_instrumentation_observed(self):
+        rt = make_runtime()
+        rt.execute_phase()
+        np.testing.assert_array_equal(rt.instrumentation.latest(), rt.task_loads)
+
+    def test_set_task_loads_changes_next_phase(self):
+        rt = make_runtime()
+        rt.execute_phase()
+        rt.set_task_loads(np.ones(8) * 2.0)
+        result = rt.execute_phase()
+        assert result.makespan == pytest.approx(4.0)  # 2 tasks * 2.0
+
+    def test_set_task_loads_rejects_resize(self):
+        rt = make_runtime()
+        with pytest.raises(ValueError, match="number of tasks"):
+            rt.set_task_loads(np.ones(5))
+
+
+class TestAssignment:
+    def test_apply_assignment_counts_migrations(self):
+        rt = make_runtime()
+        new = rt.assignment.copy()
+        new[0] = 3
+        new[3] = 2
+        assert rt.apply_assignment(new) == 2
+        np.testing.assert_array_equal(rt.assignment, new)
+
+    def test_apply_rebalanced_assignment_lowers_makespan(self):
+        rt = make_runtime()
+        before = rt.execute_phase().makespan
+        # move the 4.0 task off rank 1 to rank 3
+        new = rt.assignment.copy()
+        new[3] = 2
+        rt.apply_assignment(new)
+        after = rt.execute_phase().makespan
+        assert after < before
+
+    def test_apply_assignment_length_check(self):
+        rt = make_runtime()
+        with pytest.raises(ValueError, match="mismatch"):
+            rt.apply_assignment(np.zeros(3, dtype=int))

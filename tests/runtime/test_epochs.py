@@ -1,0 +1,85 @@
+"""Unit tests for repro.runtime.epochs (scoped termination)."""
+
+import pytest
+
+from repro.runtime.epochs import EpochManager
+from repro.sim.process import System
+
+
+def ripple(sys_, tag, hops, start_rank=0):
+    """Register a forwarding handler under `tag` and kick it off."""
+
+    def handler(proc, msg):
+        if msg.payload > 0:
+            proc.send((proc.rank + 1) % sys_.n_ranks, tag, payload=msg.payload - 1)
+
+    for p in sys_.processes:
+        p.register(tag, handler)
+    sys_.processes[start_rank].send((start_rank + 1) % sys_.n_ranks, tag, payload=hops)
+
+
+class TestEpoch:
+    def test_tag_scoping(self):
+        sys_ = System(2)
+        mgr = EpochManager(sys_)
+        a, b = mgr.new_epoch("a"), mgr.new_epoch("b")
+        assert a.tag("work") != b.tag("work")
+        assert a.owns(a.tag("work"))
+        assert not a.owns(b.tag("work"))
+
+    def test_control_tags_rejected(self):
+        epoch = EpochManager(System(2)).new_epoch()
+        with pytest.raises(ValueError, match="control"):
+            epoch.tag("__secret")
+
+    def test_single_epoch_terminates(self):
+        sys_ = System(4)
+        epoch = EpochManager(sys_).new_epoch()
+        ripple(sys_, epoch.tag("work"), hops=6)
+        epoch.detect_termination()
+        sys_.run()
+        assert epoch.terminated
+        assert epoch.finish_time > 0
+
+    def test_concurrent_epochs_terminate_independently(self):
+        # Epoch A is short; epoch B keeps rippling long after. A's
+        # detector must fire while B is still in flight.
+        sys_ = System(4)
+        mgr = EpochManager(sys_)
+        a, b = mgr.new_epoch("short"), mgr.new_epoch("long")
+        ripple(sys_, a.tag("work"), hops=3)
+        ripple(sys_, b.tag("work"), hops=400)
+        a.detect_termination()
+        b.detect_termination()
+        sys_.run()
+        assert a.terminated and b.terminated
+        assert a.finish_time < b.finish_time
+
+    def test_unscoped_traffic_does_not_block_epoch(self):
+        sys_ = System(4)
+        epoch = EpochManager(sys_).new_epoch()
+        ripple(sys_, epoch.tag("work"), hops=2)
+        # Plain (epoch-less) traffic running much longer.
+        ripple(sys_, "background", hops=300)
+        epoch.detect_termination()
+        sys_.run()
+        assert epoch.terminated
+
+    def test_double_arm_rejected(self):
+        sys_ = System(2)
+        epoch = EpochManager(sys_).new_epoch()
+        epoch.detect_termination()
+        with pytest.raises(RuntimeError, match="already armed"):
+            epoch.detect_termination()
+
+    def test_finish_time_before_termination_raises(self):
+        epoch = EpochManager(System(2)).new_epoch()
+        with pytest.raises(RuntimeError, match="not terminated"):
+            epoch.finish_time
+
+    def test_manager_tracks_epochs(self):
+        mgr = EpochManager(System(2))
+        mgr.new_epoch()
+        mgr.new_epoch()
+        assert len(mgr.epochs) == 2
+        assert mgr.epochs[0].epoch_id != mgr.epochs[1].epoch_id

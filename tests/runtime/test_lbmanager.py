@@ -1,0 +1,122 @@
+"""Unit tests for repro.runtime.lbmanager (full simulated LB episodes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tempered import TemperedConfig
+from repro.runtime.amt import AMTRuntime
+from repro.runtime.lbmanager import LBManager
+
+
+def imbalanced_runtime(n_ranks=8, tasks_per_rank=6, seed=0):
+    """All tasks initially on rank 0."""
+    rng = np.random.default_rng(seed)
+    n_tasks = n_ranks * tasks_per_rank
+    loads = rng.gamma(4.0, 0.25, size=n_tasks)
+    assignment = np.zeros(n_tasks, dtype=np.int64)
+    return AMTRuntime(n_ranks, loads, assignment, task_overhead=0.001)
+
+
+def small_config(**kw):
+    defaults = dict(n_trials=1, n_iters=2, fanout=3, rounds=4)
+    defaults.update(kw)
+    return TemperedConfig(**defaults)
+
+
+class TestLBEpisode:
+    def test_improves_imbalance(self):
+        rt = imbalanced_runtime()
+        rt.execute_phase()
+        mgr = LBManager(rt, small_config(), seed=1)
+        res = mgr.run_episode()
+        assert res.final_imbalance < res.initial_imbalance
+        np.testing.assert_array_equal(rt.assignment, res.assignment)
+
+    def test_episode_advances_clock(self):
+        rt = imbalanced_runtime()
+        rt.execute_phase()
+        before = rt.system.engine.now
+        res = LBManager(rt, small_config(), seed=1).run_episode()
+        assert rt.system.engine.now == pytest.approx(before + res.t_lb)
+        assert res.t_lb > 0
+
+    def test_migration_dominates_t_lb(self):
+        # With a realistic bytes-per-load, migration should be the bulk
+        # of the LB cost (the paper's Fig. 3 observation).
+        rt = imbalanced_runtime()
+        rt.execute_phase()
+        mgr = LBManager(rt, small_config(), seed=1, bytes_per_unit_load=1e8)
+        res = mgr.run_episode()
+        assert res.migration is not None
+        assert res.migration.duration > 0.25 * res.t_lb
+
+    def test_uses_instrumented_loads_by_default(self):
+        rt = imbalanced_runtime()
+        rt.execute_phase()
+        res = LBManager(rt, small_config(), seed=2).run_episode()
+        assert res.n_migrations > 0
+
+    def test_explicit_prediction(self):
+        rt = imbalanced_runtime()
+        res = LBManager(rt, small_config(), seed=2).run_episode(
+            predicted_loads=rt.task_loads
+        )
+        assert res.n_migrations > 0
+
+    def test_prediction_shape_checked(self):
+        rt = imbalanced_runtime()
+        rt.execute_phase()
+        with pytest.raises(ValueError, match="match the task count"):
+            LBManager(rt, small_config()).run_episode(predicted_loads=np.ones(3))
+
+    def test_balanced_system_no_migrations(self):
+        rng = np.random.default_rng(0)
+        loads = np.ones(32)
+        assignment = np.repeat(np.arange(8), 4)
+        rt = AMTRuntime(8, loads, assignment)
+        rt.execute_phase()
+        res = LBManager(rt, small_config(), seed=0).run_episode()
+        assert res.n_migrations == 0
+        assert res.migration is None
+        assert res.final_imbalance == pytest.approx(0.0)
+
+    def test_records_per_trial_iteration(self):
+        rt = imbalanced_runtime()
+        rt.execute_phase()
+        res = LBManager(rt, small_config(n_trials=2, n_iters=3), seed=1).run_episode()
+        assert len(res.records) == 6
+        assert res.gossip_messages == sum(r.gossip_messages for r in res.records)
+
+    def test_multi_episode_determinism(self):
+        def run():
+            rt = imbalanced_runtime(seed=11)
+            rt.execute_phase()
+            mgr = LBManager(rt, small_config(), seed=5)
+            totals = []
+            for _ in range(3):
+                episode = mgr.run_episode()
+                totals.append((episode.t_lb, episode.final_imbalance))
+                rt.execute_phase()
+            return totals
+
+        assert run() == run()
+
+    def test_repeated_episodes_converge(self):
+        rt = imbalanced_runtime(n_ranks=8, tasks_per_rank=10, seed=12)
+        rt.execute_phase()
+        mgr = LBManager(rt, small_config(n_iters=3), seed=6)
+        finals = []
+        for _ in range(3):
+            finals.append(mgr.run_episode().final_imbalance)
+            rt.execute_phase()
+        # Static loads: once balanced, later episodes stay balanced and
+        # propose (almost) nothing.
+        assert finals[-1] <= finals[0]
+        assert finals[-1] < 0.5
+
+    def test_subsequent_phase_faster_after_lb(self):
+        rt = imbalanced_runtime(n_ranks=8, tasks_per_rank=8)
+        before = rt.execute_phase()
+        LBManager(rt, small_config(n_iters=4), seed=3).run_episode()
+        after = rt.execute_phase()
+        assert after.makespan < 0.7 * before.makespan

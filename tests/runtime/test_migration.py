@@ -1,0 +1,62 @@
+"""Unit tests for repro.runtime.migration."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.migration import migrate_tasks
+from repro.sim.process import System
+
+
+class TestMigration:
+    def test_basic_episode(self):
+        sys_ = System(4)
+        loads = np.array([1.0, 2.0, 0.5])
+        res = migrate_tasks(sys_, [(0, 0, 1), (1, 0, 2)], loads, bytes_per_unit_load=1000)
+        assert res.n_migrations == 2
+        assert res.bytes_moved == (2048 + 1000) + (2048 + 2000)
+        assert res.duration > 0
+
+    def test_no_moves(self):
+        sys_ = System(4)
+        res = migrate_tasks(sys_, [], np.array([1.0]))
+        assert res.n_migrations == 0
+        assert res.bytes_moved == 0
+
+    def test_multi_hop_collapsed(self):
+        # Task 0 proposed 0->1 then 1->2: shipped once, 0->2.
+        sys_ = System(4)
+        res = migrate_tasks(sys_, [(0, 0, 1), (0, 1, 2)], np.array([1.0]))
+        assert res.n_migrations == 1
+
+    def test_roundtrip_move_is_free(self):
+        # 0->1 then 1->0: final destination equals origin; nothing ships.
+        sys_ = System(4)
+        res = migrate_tasks(sys_, [(0, 0, 1), (0, 1, 0)], np.array([1.0]))
+        assert res.n_migrations == 0
+
+    def test_heavier_tasks_cost_more_time(self):
+        def run(load):
+            sys_ = System(2)
+            res = migrate_tasks(
+                sys_, [(0, 0, 1)], np.array([load]), bytes_per_unit_load=1e9
+            )
+            return res.duration
+
+        assert run(10.0) > run(0.1)
+
+    def test_clock_advances(self):
+        sys_ = System(4)
+        before = sys_.engine.now
+        migrate_tasks(sys_, [(0, 0, 3)], np.array([5.0]))
+        assert sys_.engine.now > before
+
+    def test_many_migrations_terminate(self):
+        sys_ = System(8)
+        rng = np.random.default_rng(0)
+        loads = rng.random(100)
+        moves = [
+            (t, int(rng.integers(0, 8)), int(rng.integers(0, 8))) for t in range(100)
+        ]
+        res = migrate_tasks(sys_, moves, loads)
+        assert res.n_migrations <= 100
+        assert res.end_time >= res.start_time

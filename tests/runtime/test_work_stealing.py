@@ -1,0 +1,112 @@
+"""Unit tests for repro.runtime.work_stealing."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.work_stealing import RetentiveWorkStealing, WorkStealingScheduler
+from repro.sim.process import System
+
+
+def hot_rank_setup(n_ranks=8, n_tasks=64, seed=0):
+    rng = np.random.default_rng(seed)
+    loads = rng.gamma(4.0, 0.05, size=n_tasks)
+    assignment = np.zeros(n_tasks, dtype=np.int64)  # all on rank 0
+    return System(n_ranks), loads, assignment
+
+
+class TestWorkStealingScheduler:
+    def test_every_task_executed_exactly_once(self):
+        sys_, loads, assignment = hot_rank_setup()
+        result = WorkStealingScheduler(sys_, loads, assignment, seed=1).run()
+        assert result.tasks_executed == 64
+        assert (result.final_location >= 0).all()
+        assert result.executed_per_rank.sum() == 64
+
+    def test_stealing_beats_serial_execution(self):
+        sys_, loads, assignment = hot_rank_setup()
+        result = WorkStealingScheduler(sys_, loads, assignment, seed=1).run()
+        serial = loads.sum()
+        # Distributed execution should be well below the serial makespan
+        # and above the perfect-parallel bound.
+        assert result.makespan < 0.5 * serial
+        assert result.makespan >= serial / 8 - 1e-9
+        assert result.successful_steals > 0
+
+    def test_balanced_input_steals_little(self):
+        sys_ = System(8)
+        rng = np.random.default_rng(2)
+        loads = rng.uniform(0.9, 1.1, 64)
+        assignment = np.repeat(np.arange(8), 8)
+        result = WorkStealingScheduler(sys_, loads, assignment, seed=2).run()
+        # Already balanced: some failed probes at the end, few tasks move.
+        assert result.tasks_stolen < 16
+
+    def test_single_rank(self):
+        sys_ = System(1)
+        loads = np.ones(5)
+        result = WorkStealingScheduler(sys_, loads, np.zeros(5, dtype=int), seed=0).run()
+        assert result.tasks_executed == 5
+        assert result.makespan == pytest.approx(5.0, rel=1e-6)
+
+    def test_no_tasks(self):
+        sys_ = System(4)
+        result = WorkStealingScheduler(
+            sys_, np.empty(0), np.empty(0, dtype=int), seed=0
+        ).run()
+        assert result.tasks_executed == 0
+
+    def test_deterministic(self):
+        def run():
+            sys_, loads, assignment = hot_rank_setup(seed=3)
+            return WorkStealingScheduler(sys_, loads, assignment, seed=3).run()
+
+        a, b = run(), run()
+        assert a.makespan == b.makespan
+        np.testing.assert_array_equal(a.final_location, b.final_location)
+
+    def test_validation(self):
+        sys_ = System(2)
+        with pytest.raises(ValueError, match="equal length"):
+            WorkStealingScheduler(sys_, np.ones(3), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError, match="out of range"):
+            WorkStealingScheduler(sys_, np.ones(2), np.array([0, 7]))
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(sys_, np.ones(2), np.zeros(2, dtype=int), max_attempts=0)
+
+
+class TestRetentiveWorkStealing:
+    def test_retention_reduces_steals_on_persistent_workload(self):
+        n_ranks, n_tasks = 8, 64
+        rng = np.random.default_rng(4)
+        loads = rng.gamma(4.0, 0.05, size=n_tasks)
+        sys_ = System(n_ranks)
+        ws = RetentiveWorkStealing(sys_, np.zeros(n_tasks, dtype=np.int64), seed=4)
+        first = ws.run_phase(loads)
+        later = ws.run_phase(loads)  # identical loads: perfect persistence
+        assert later.tasks_stolen < first.tasks_stolen
+        assert later.makespan <= first.makespan + 1e-9
+
+    def test_non_retentive_resteals_more_than_retentive(self):
+        n_tasks = 48
+        rng = np.random.default_rng(5)
+        loads = rng.gamma(4.0, 0.05, size=n_tasks)
+
+        def second_phase_steals(retentive):
+            sys_ = System(6)
+            ws = RetentiveWorkStealing(
+                sys_, np.zeros(n_tasks, dtype=np.int64), seed=5, retentive=retentive
+            )
+            ws.run_phase(loads)
+            return ws.run_phase(loads).tasks_stolen
+
+        # With identical phase seeds, retention means phase 2 starts
+        # from the balanced end state and steals strictly less.
+        assert second_phase_steals(True) < second_phase_steals(False)
+
+    def test_history_recorded(self):
+        sys_ = System(4)
+        ws = RetentiveWorkStealing(sys_, np.zeros(16, dtype=np.int64), seed=0)
+        ws.run_phase(np.ones(16))
+        ws.run_phase(np.ones(16))
+        assert len(ws.history) == 2
+        assert ws.phases_run == 2

@@ -1,0 +1,107 @@
+"""Unit tests for repro.sim.engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(2.0, log.append, "b")
+        e.schedule(1.0, log.append, "a")
+        e.schedule(3.0, log.append, "c")
+        e.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        e = Engine()
+        log = []
+        for name in "abc":
+            e.schedule(1.0, log.append, name)
+        e.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        e = Engine()
+        seen = []
+        e.schedule(5.0, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [5.0]
+        assert e.now == 5.0
+
+    def test_nested_scheduling(self):
+        e = Engine()
+        log = []
+
+        def first():
+            log.append(("first", e.now))
+            e.schedule(1.0, second)
+
+        def second():
+            log.append(("second", e.now))
+
+        e.schedule(1.0, first)
+        e.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        e = Engine()
+        seen = []
+        e.schedule_at(4.0, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [4.0]
+
+    def test_schedule_at_past_rejected(self):
+        e = Engine()
+        e.schedule(1.0, lambda: None)
+        e.run()
+        with pytest.raises(ValueError, match="past"):
+            e.schedule_at(0.5, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, log.append, "a")
+        e.schedule(10.0, log.append, "b")
+        e.run(until=5.0)
+        assert log == ["a"]
+        assert e.now == 5.0
+        assert e.pending == 1
+
+    def test_resume_after_until(self):
+        e = Engine()
+        log = []
+        e.schedule(10.0, log.append, "b")
+        e.run(until=5.0)
+        e.run()
+        assert log == ["b"]
+
+    def test_max_events(self):
+        e = Engine()
+        log = []
+        for i in range(5):
+            e.schedule(float(i + 1), log.append, i)
+        e.run(max_events=3)
+        assert log == [0, 1, 2]
+        assert e.events_processed == 3
+
+    def test_step(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, log.append, "x")
+        assert e.step() is True
+        assert e.step() is False
+        assert log == ["x"]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        e = Engine()
+        e.run(until=7.0)
+        assert e.now == 7.0

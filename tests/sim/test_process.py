@@ -1,0 +1,177 @@
+"""Unit tests for repro.sim.process (System / Process)."""
+
+import pytest
+
+from repro.sim.network import NetworkModel
+from repro.sim.process import System
+
+
+def make_system(n=4, **kw):
+    return System(n, network=NetworkModel(ranks_per_node=2), **kw)
+
+
+class TestMessaging:
+    def test_message_delivered_to_handler(self):
+        sys_ = make_system()
+        got = []
+        sys_.processes[1].register("ping", lambda proc, msg: got.append(msg.payload))
+        sys_.processes[0].send(1, "ping", payload="hello", size=32)
+        sys_.run()
+        assert got == ["hello"]
+
+    def test_missing_handler_raises(self):
+        sys_ = make_system()
+        sys_.processes[0].send(1, "nope")
+        with pytest.raises(KeyError, match="no handler"):
+            sys_.run()
+
+    def test_duplicate_handler_rejected(self):
+        sys_ = make_system()
+        sys_.processes[0].register("t", lambda p, m: None)
+        with pytest.raises(ValueError, match="already registered"):
+            sys_.processes[0].register("t", lambda p, m: None)
+
+    def test_out_of_range_destination(self):
+        sys_ = make_system()
+        with pytest.raises(ValueError, match="out of range"):
+            sys_.processes[0].send(17, "t")
+
+    def test_reply_chain(self):
+        sys_ = make_system()
+        trace = []
+
+        def ping(proc, msg):
+            trace.append(("ping", proc.rank))
+            proc.send(msg.src, "pong")
+
+        def pong(proc, msg):
+            trace.append(("pong", proc.rank))
+
+        sys_.processes[1].register("ping", ping)
+        sys_.processes[0].register("pong", pong)
+        sys_.processes[0].send(1, "ping")
+        sys_.run()
+        assert trace == [("ping", 1), ("pong", 0)]
+
+    def test_accounting(self):
+        sys_ = make_system()
+        sys_.processes[1].register("t", lambda p, m: None)
+        sys_.processes[0].send(1, "t", size=100)
+        sys_.processes[0].send(1, "t", size=50)
+        sys_.run()
+        assert sys_.messages_sent == 2
+        assert sys_.bytes_sent == 150
+        assert sys_.processes[0].sent == 2
+        assert sys_.processes[1].received == 2
+
+
+class TestTiming:
+    def test_inter_node_slower_than_intra(self):
+        times = {}
+
+        def receiver(key):
+            def handler(proc, msg):
+                times[key] = proc.system.engine.now
+
+            return handler
+
+        sys_ = make_system()  # ranks_per_node=2: 0,1 on node 0; 2,3 on node 1
+        sys_.processes[1].register("t", receiver("intra"))
+        sys_.processes[2].register("t", receiver("inter"))
+        sys_.processes[0].send(1, "t", size=1000)
+        sys_.processes[0].send(2, "t", size=1000)
+        sys_.run()
+        assert times["intra"] < times["inter"]
+
+    def test_handlers_serialized_on_one_rank(self):
+        # Two messages arriving nearly simultaneously execute back to
+        # back, separated by the handler overhead + compute time.
+        sys_ = System(2, handler_overhead=1e-3)
+        starts = []
+
+        def slow(proc, msg):
+            starts.append(proc.system.engine.now)
+            proc.compute(0.5)
+
+        sys_.processes[1].register("t", slow)
+        sys_.processes[0].send(1, "t")
+        sys_.processes[0].send(1, "t")
+        sys_.run()
+        assert len(starts) == 2
+        assert starts[1] - starts[0] >= 0.5
+
+    def test_nic_serializes_concurrent_sends(self):
+        # Two large messages from one rank to different peers cannot
+        # overlap their transmission time.
+        from repro.sim.network import NetworkModel
+
+        net = NetworkModel(ranks_per_node=1, inter_latency=0.0, inter_bandwidth=1e6)
+        sys_ = System(3, network=net)
+        arrivals = {}
+
+        def receiver(proc, msg):
+            arrivals[proc.rank] = proc.system.engine.now
+
+        sys_.processes[1].register("t", receiver)
+        sys_.processes[2].register("t", receiver)
+        sys_.processes[0].send(1, "t", size=10**6)  # 1 second of tx
+        sys_.processes[0].send(2, "t", size=10**6)
+        sys_.run()
+        assert arrivals[1] == pytest.approx(1.0, rel=1e-6)
+        assert arrivals[2] == pytest.approx(2.0, rel=1e-6)
+
+    def test_incast_serializes_at_receiver(self):
+        # Two large messages from different senders to one receiver
+        # cannot complete their reception simultaneously.
+        from repro.sim.network import NetworkModel
+
+        net = NetworkModel(ranks_per_node=1, inter_latency=0.0, inter_bandwidth=1e6)
+        sys_ = System(3, network=net)
+        arrivals = []
+
+        sys_.processes[2].register("t", lambda p, m: arrivals.append(p.system.engine.now))
+        sys_.processes[0].send(2, "t", size=10**6)  # 1 second of tx
+        sys_.processes[1].send(2, "t", size=10**6)
+        sys_.run()
+        assert arrivals[0] == pytest.approx(1.0, rel=1e-6)
+        assert arrivals[1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_self_messages_do_not_occupy_nic(self):
+        sys_ = System(2)
+        sys_.processes[0].register("t", lambda p, m: None)
+        sys_.processes[0].send(0, "t", size=10**9)
+        t = sys_.run()
+        assert t < 1e-3  # only the local-delivery latency
+
+    def test_compute_accumulates(self):
+        sys_ = make_system()
+        sys_.processes[0].compute(1.0)
+        sys_.processes[0].compute(2.0)
+        assert sys_.processes[0].compute_time == pytest.approx(3.0)
+        assert sys_.processes[0].busy_until == pytest.approx(3.0)
+
+    def test_negative_compute_rejected(self):
+        sys_ = make_system()
+        with pytest.raises(ValueError):
+            sys_.processes[0].compute(-1.0)
+
+
+class TestHooks:
+    def test_transmit_and_post_execute_hooks(self):
+        sys_ = make_system()
+        events = []
+        sys_.add_transmit_hook(lambda m: events.append(("tx", m.tag)))
+        sys_.add_post_execute_hook(lambda p, m: events.append(("done", p.rank)))
+        sys_.processes[1].register("t", lambda p, m: None)
+        sys_.processes[0].send(1, "t")
+        sys_.run()
+        assert events == [("tx", "t"), ("done", 1)]
+
+    def test_deliver_hook(self):
+        sys_ = make_system()
+        seen = []
+        sys_.add_deliver_hook(lambda m: seen.append(m.msg_id))
+        sys_.processes[1].register("t", lambda p, m: None)
+        sys_.processes[0].send(1, "t")
+        sys_.run()
+        assert len(seen) == 1

@@ -1,0 +1,138 @@
+"""Unit tests for repro.sim.reductions."""
+
+import pytest
+
+from repro.sim.process import System
+from repro.sim.reductions import allreduce, binomial_children, binomial_parent
+
+
+class TestTreeShape:
+    def test_parent_clears_lowest_bit(self):
+        assert binomial_parent(1) == 0
+        assert binomial_parent(6) == 4
+        assert binomial_parent(7) == 6
+        assert binomial_parent(12) == 8
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            binomial_parent(0)
+
+    def test_children_of_root(self):
+        assert binomial_children(0, 8) == [1, 2, 4]
+        assert binomial_children(0, 6) == [1, 2, 4]
+        assert binomial_children(0, 1) == []
+
+    def test_children_of_internal_node(self):
+        assert binomial_children(4, 8) == [5, 6]
+        assert binomial_children(6, 8) == [7]
+        assert binomial_children(5, 8) == []
+
+    def test_tree_is_consistent(self):
+        # Every non-root vrank's parent lists it as a child.
+        for n in (2, 3, 5, 8, 13, 16):
+            for v in range(1, n):
+                assert v in binomial_children(binomial_parent(v), n)
+
+    def test_tree_spans_all_ranks(self):
+        for n in (1, 2, 7, 16):
+            reached = {0}
+            frontier = [0]
+            while frontier:
+                v = frontier.pop()
+                for c in binomial_children(v, n):
+                    assert c not in reached
+                    reached.add(c)
+                    frontier.append(c)
+            assert reached == set(range(n))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            binomial_children(8, 8)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 16])
+    def test_sum_reaches_every_rank(self, n):
+        sys_ = System(n)
+        results = {}
+        allreduce(
+            sys_,
+            list(range(n)),
+            combine=lambda a, b: a + b,
+            on_complete=lambda rank, v: results.__setitem__(rank, v),
+        )
+        sys_.run()
+        expected = n * (n - 1) // 2
+        assert results == {r: expected for r in range(n)}
+
+    def test_max_reduction(self):
+        sys_ = System(5)
+        results = {}
+        allreduce(
+            sys_,
+            [3, 9, 1, 7, 5],
+            combine=max,
+            on_complete=lambda rank, v: results.__setitem__(rank, v),
+        )
+        sys_.run()
+        assert set(results.values()) == {9}
+
+    def test_nonzero_root(self):
+        sys_ = System(6)
+        results = {}
+        allreduce(
+            sys_,
+            [1] * 6,
+            combine=lambda a, b: a + b,
+            on_complete=lambda rank, v: results.__setitem__(rank, v),
+            root=3,
+        )
+        sys_.run()
+        assert results == {r: 6 for r in range(6)}
+
+    def test_completion_time_scales_logarithmically(self):
+        def run(n):
+            sys_ = System(n)
+            t = {}
+            allreduce(
+                sys_,
+                [0] * n,
+                combine=lambda a, b: a + b,
+                on_complete=lambda rank, v: t.__setitem__(rank, sys_.engine.now),
+            )
+            sys_.run()
+            return max(t.values())
+
+        t16, t256 = run(16), run(256)
+        # 256 ranks is 2x the tree depth of 16 ranks, not 16x the time.
+        assert t256 < 4 * t16
+
+    def test_wrong_contribution_count(self):
+        sys_ = System(4)
+        with pytest.raises(ValueError, match="contribution"):
+            allreduce(sys_, [1, 2], combine=max, on_complete=lambda r, v: None)
+
+    def test_bad_root(self):
+        sys_ = System(4)
+        with pytest.raises(ValueError, match="root"):
+            allreduce(sys_, [1] * 4, combine=max, on_complete=lambda r, v: None, root=9)
+
+    def test_two_concurrent_allreduces_do_not_interfere(self):
+        sys_ = System(4)
+        res_a, res_b = {}, {}
+        allreduce(sys_, [1] * 4, lambda a, b: a + b, lambda r, v: res_a.__setitem__(r, v))
+        allreduce(sys_, [2] * 4, lambda a, b: a + b, lambda r, v: res_b.__setitem__(r, v))
+        sys_.run()
+        assert set(res_a.values()) == {4}
+        assert set(res_b.values()) == {8}
+
+
+class TestRankStreams:
+    def test_streams_independent_and_deterministic(self):
+        from repro.sim.rng import RankStreams
+
+        a = RankStreams(4, seed=1)
+        b = RankStreams(4, seed=1)
+        assert a[0].random() == b[0].random()
+        assert a[1].random() != a[2].random()
+        assert len(a) == 4

@@ -1,0 +1,132 @@
+"""Property-based tests for the simulation substrate.
+
+Random message graphs drive the termination detectors and reductions;
+the invariants checked are the ones the protocols promise:
+detection fires exactly once, never before the app quiesces, and
+reductions compute the same value as a serial fold.
+"""
+
+import functools
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.process import System
+from repro.sim.reductions import allreduce
+from repro.sim.termination import DijkstraScholten, SafraDetector
+
+
+def random_app(sys_, rng, n_seeds, depth, fanout_max):
+    """An app where each message spawns a random number of children
+    until depth exhausts. Returns the completion log."""
+    log = []
+
+    def handler(proc, msg):
+        d = msg.payload
+        log.append(sys_.engine.now)
+        if d > 0:
+            for _ in range(int(rng.integers(0, fanout_max + 1))):
+                proc.send(int(rng.integers(0, sys_.n_ranks)), "app", payload=d - 1)
+
+    for p in sys_.processes:
+        p.register("app", handler)
+    return log
+
+
+@given(
+    n_ranks=st.integers(min_value=2, max_value=12),
+    n_seeds=st.integers(min_value=0, max_value=4),
+    depth=st.integers(min_value=0, max_value=4),
+    fanout_max=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_safra_fires_once_and_not_prematurely(n_ranks, n_seeds, depth, fanout_max, seed):
+    rng = np.random.default_rng(seed)
+    sys_ = System(n_ranks)
+    log = random_app(sys_, rng, n_seeds, depth, fanout_max)
+    detected = []
+    detector = SafraDetector(sys_, on_terminate=detected.append)
+    for _ in range(n_seeds):
+        sys_.processes[0].send(int(rng.integers(0, n_ranks)), "app", payload=depth)
+    detector.start()
+    sys_.run()
+    assert detector.terminated
+    assert len(detected) == 1
+    if log:
+        assert detected[0] >= max(log)
+
+
+@given(
+    n_ranks=st.integers(min_value=2, max_value=12),
+    n_seeds=st.integers(min_value=0, max_value=4),
+    depth=st.integers(min_value=0, max_value=4),
+    fanout_max=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_dijkstra_scholten_rooted(n_ranks, n_seeds, depth, fanout_max, seed):
+    rng = np.random.default_rng(seed)
+    sys_ = System(n_ranks)
+    log = random_app(sys_, rng, n_seeds, depth, fanout_max)
+    detected = []
+    detector = DijkstraScholten(sys_, root=0, on_terminate=detected.append)
+    for _ in range(n_seeds):
+        sys_.processes[0].send(int(rng.integers(0, n_ranks)), "app", payload=depth)
+    detector.start()
+    sys_.run()
+    assert detector.terminated
+    assert len(detected) == 1
+    if log:
+        assert detected[0] >= max(log)
+
+
+@given(
+    n_ranks=st.integers(min_value=1, max_value=20),
+    values=st.data(),
+    op=st.sampled_from([operator.add, max, min]),
+)
+@settings(max_examples=40, deadline=None)
+def test_allreduce_matches_serial_fold(n_ranks, values, op):
+    contributions = values.draw(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=n_ranks,
+            max_size=n_ranks,
+        )
+    )
+    sys_ = System(n_ranks)
+    results = {}
+    allreduce(
+        sys_,
+        contributions,
+        combine=op,
+        on_complete=lambda rank, v: results.__setitem__(rank, v),
+    )
+    sys_.run()
+    expected = functools.reduce(op, contributions)
+    assert set(results) == set(range(n_ranks))
+    # add is associative-commutative over ints: exact equality holds.
+    assert all(v == expected for v in results.values())
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_engine_time_monotone_under_random_scheduling(seed):
+    from repro.sim.engine import Engine
+
+    rng = np.random.default_rng(seed)
+    engine = Engine()
+    times = []
+
+    def record():
+        times.append(engine.now)
+        if len(times) < 50:
+            engine.schedule(float(rng.random()), record)
+
+    engine.schedule(0.0, record)
+    engine.run()
+    assert times == sorted(times)

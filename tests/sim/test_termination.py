@@ -1,0 +1,182 @@
+"""Unit tests for repro.sim.termination (Safra + Dijkstra-Scholten)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.process import System
+from repro.sim.termination import DijkstraScholten, SafraDetector
+
+
+def ripple_app(sys_, hops):
+    """An app where each message forwards to the next rank `hops` times."""
+
+    def handler(proc, msg):
+        remaining = msg.payload
+        if remaining > 0:
+            proc.send((proc.rank + 1) % sys_.n_ranks, "ripple", payload=remaining - 1)
+
+    for p in sys_.processes:
+        p.register("ripple", handler)
+
+
+class TestSafra:
+    def test_detects_quiescence_of_simple_app(self):
+        sys_ = System(4)
+        ripple_app(sys_, 10)
+        detected = []
+        det = SafraDetector(sys_, on_terminate=detected.append)
+        sys_.processes[0].send(1, "ripple", payload=10)
+        det.start()
+        sys_.run()
+        assert det.terminated
+        assert len(detected) == 1
+
+    def test_detection_not_premature(self):
+        # The app finishes at some simulated time t_app; Safra must not
+        # announce before every application handler has executed.
+        sys_ = System(6)
+        finished = []
+
+        def handler(proc, msg):
+            if msg.payload > 0:
+                proc.compute(0.01)  # slow handlers
+                proc.send((proc.rank + 3) % 6, "work", payload=msg.payload - 1)
+            else:
+                finished.append(sys_.engine.now)
+
+        for p in sys_.processes:
+            p.register("work", handler)
+        detected = []
+        det = SafraDetector(sys_, on_terminate=detected.append)
+        sys_.processes[0].send(1, "work", payload=20)
+        det.start()
+        sys_.run()
+        assert det.terminated
+        assert detected[0] >= finished[0]
+
+    def test_no_app_messages_terminates_immediately(self):
+        sys_ = System(4)
+        detected = []
+        det = SafraDetector(sys_, on_terminate=detected.append)
+        det.start()
+        sys_.run()
+        assert det.terminated
+
+    def test_single_rank(self):
+        sys_ = System(1)
+        detected = []
+        det = SafraDetector(sys_, on_terminate=detected.append)
+        det.start()
+        assert det.terminated
+
+    def test_multiple_rounds_counted(self):
+        sys_ = System(4)
+        ripple_app(sys_, 0)
+        det = SafraDetector(sys_, on_terminate=lambda t: None)
+        # Kick off work *after* starting the token so at least one round
+        # is poisoned and a second is needed.
+        det.start()
+        sys_.processes[0].send(1, "ripple", payload=8)
+        sys_.run()
+        assert det.terminated
+        assert det.rounds >= 1
+
+    def test_fanout_app(self):
+        # Each message spawns two more until depth exhausts (tree traffic).
+        sys_ = System(8)
+        rng = np.random.default_rng(0)
+
+        def handler(proc, msg):
+            depth = msg.payload
+            if depth > 0:
+                for _ in range(2):
+                    proc.send(int(rng.integers(0, 8)), "fan", payload=depth - 1)
+
+        for p in sys_.processes:
+            p.register("fan", handler)
+        det = SafraDetector(sys_, on_terminate=lambda t: None)
+        sys_.processes[0].send(1, "fan", payload=5)
+        det.start()
+        sys_.run()
+        assert det.terminated
+
+
+class TestDijkstraScholten:
+    def test_detects_diffusing_computation(self):
+        sys_ = System(4)
+        ripple_app(sys_, 6)
+        detected = []
+        det = DijkstraScholten(sys_, root=0, on_terminate=detected.append)
+        sys_.processes[0].send(1, "ripple", payload=6)
+        det.start()
+        sys_.run()
+        assert det.terminated
+        assert len(detected) == 1
+
+    def test_trivial_computation(self):
+        sys_ = System(4)
+        det = DijkstraScholten(sys_, root=0, on_terminate=lambda t: None)
+        det.start()
+        assert det.terminated
+
+    def test_detection_after_all_work(self):
+        sys_ = System(5)
+        done_times = []
+
+        def handler(proc, msg):
+            proc.compute(0.1)
+            if msg.payload > 0:
+                proc.send((proc.rank + 2) % 5, "w", payload=msg.payload - 1)
+            done_times.append(sys_.engine.now)
+
+        for p in sys_.processes:
+            p.register("w", handler)
+        detected = []
+        det = DijkstraScholten(sys_, root=0, on_terminate=detected.append)
+        sys_.processes[0].send(1, "w", payload=7)
+        det.start()
+        sys_.run()
+        assert det.terminated
+        assert detected[0] >= max(done_times)
+
+    def test_tree_fanout_computation(self):
+        sys_ = System(16)
+
+        def handler(proc, msg):
+            depth = msg.payload
+            if depth > 0:
+                proc.send((2 * proc.rank + 1) % 16, "tree", payload=depth - 1)
+                proc.send((2 * proc.rank + 2) % 16, "tree", payload=depth - 1)
+
+        for p in sys_.processes:
+            p.register("tree", handler)
+        det = DijkstraScholten(sys_, root=0, on_terminate=lambda t: None)
+        sys_.processes[0].send(1, "tree", payload=4)
+        sys_.processes[0].send(2, "tree", payload=4)
+        det.start()
+        sys_.run()
+        assert det.terminated
+
+    def test_reengagement(self):
+        # A rank that detaches and is engaged again must still be counted.
+        sys_ = System(3)
+        log = []
+
+        def handler(proc, msg):
+            log.append((proc.rank, msg.payload))
+            if msg.payload == "first":
+                proc.send(2, "w2", payload=None)
+
+        def handler2(proc, msg):
+            log.append((proc.rank, "w2"))
+
+        for p in sys_.processes:
+            p.register("w", handler)
+            p.register("w2", handler2)
+        det = DijkstraScholten(sys_, root=0, on_terminate=lambda t: None)
+        sys_.processes[0].send(1, "w", payload="first")
+        sys_.processes[0].send(1, "w", payload="second")
+        det.start()
+        sys_.run()
+        assert det.terminated
+        assert len(log) == 3

@@ -1,0 +1,126 @@
+"""Public API surface tests: exports, docstrings, __all__ hygiene."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.cli",
+    "repro.core",
+    "repro.core.base",
+    "repro.core.baselines",
+    "repro.core.cmf",
+    "repro.core.comm",
+    "repro.core.criteria",
+    "repro.core.distribution",
+    "repro.core.gossip",
+    "repro.core.grapevine",
+    "repro.core.graphpart",
+    "repro.core.greedy",
+    "repro.core.hier",
+    "repro.core.knowledge",
+    "repro.core.metrics",
+    "repro.core.ordering",
+    "repro.core.refine",
+    "repro.core.refinement",
+    "repro.core.registry",
+    "repro.core.tempered",
+    "repro.core.transfer",
+    "repro.sim",
+    "repro.sim.engine",
+    "repro.sim.messages",
+    "repro.sim.network",
+    "repro.sim.process",
+    "repro.sim.reductions",
+    "repro.sim.rng",
+    "repro.sim.termination",
+    "repro.sim.trace",
+    "repro.empire.vt_mode",
+    "repro.runtime",
+    "repro.runtime.amt",
+    "repro.runtime.distributed_gossip",
+    "repro.runtime.epochs",
+    "repro.runtime.lbmanager",
+    "repro.runtime.migration",
+    "repro.runtime.phase",
+    "repro.runtime.work_stealing",
+    "repro.empire",
+    "repro.empire.app",
+    "repro.empire.bdot",
+    "repro.empire.diagnostics",
+    "repro.empire.electrostatic",
+    "repro.empire.fields",
+    "repro.empire.mesh",
+    "repro.empire.particles",
+    "repro.empire.pic",
+    "repro.empire.repartition",
+    "repro.empire.unstructured",
+    "repro.empire.workload",
+    "repro.workloads",
+    "repro.workloads.synthetic",
+    "repro.workloads.timevarying",
+    "repro.workloads.traces",
+    "repro.amr",
+    "repro.amr.app",
+    "repro.amr.front",
+    "repro.amr.morton",
+    "repro.amr.quadtree",
+    "repro.md",
+    "repro.md.app",
+    "repro.md.cells",
+    "repro.md.scenario",
+    "repro.analysis",
+    "repro.analysis.convergence",
+    "repro.analysis.experiment",
+    "repro.analysis.io",
+    "repro.analysis.plot",
+    "repro.analysis.report",
+    "repro.analysis.runner",
+    "repro.analysis.series",
+    "repro.analysis.tables",
+    "repro.util",
+    "repro.util.validation",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_importable_with_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", [m for m in PUBLIC_MODULES if "." in m])
+def test_all_entries_exist(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_top_level_exports():
+    import repro
+
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol)
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_public_callables_documented(name):
+    """Every public class and function carries a docstring."""
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__.startswith("repro"):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_strategies_share_the_interface():
+    from repro import GrapevineLB, GreedyLB, HierLB, LoadBalancer, TemperedLB
+
+    for cls in (GrapevineLB, GreedyLB, HierLB, TemperedLB):
+        assert issubclass(cls, LoadBalancer)
+        assert cls.name != LoadBalancer.name

@@ -1,0 +1,177 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestVersion:
+    def test_prints_version(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == "1.0.0"
+
+
+class TestAnalyze:
+    def test_single_criterion(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--criterion",
+                "relaxed",
+                "--tasks",
+                "300",
+                "--loaded-ranks",
+                "4",
+                "--ranks",
+                "64",
+                "--iters",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "criterion: relaxed" in out
+        assert "I0" in out
+
+    def test_both_criteria_with_json(self, capsys, tmp_path):
+        out_file = tmp_path / "analysis.json"
+        code = main(
+            [
+                "analyze",
+                "--tasks",
+                "300",
+                "--loaded-ranks",
+                "4",
+                "--ranks",
+                "64",
+                "--iters",
+                "2",
+                "--json",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "Criterion 35" in capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert set(payload) == {"original", "relaxed"}
+        assert len(payload["relaxed"]) == 2
+
+
+class TestEmpire:
+    def test_spmd_run(self, capsys):
+        code = main(
+            [
+                "empire",
+                "--config",
+                "spmd",
+                "--ranks",
+                "16",
+                "--steps",
+                "10",
+                "--lb-period",
+                "5",
+                "--particles",
+                "500",
+            ]
+        )
+        assert code == 0
+        assert "SPMD (no AMT)" in capsys.readouterr().out
+
+    def test_balanced_run_reports_speedup(self, capsys, tmp_path):
+        out_file = tmp_path / "empire.json"
+        code = main(
+            [
+                "empire",
+                "--config",
+                "greedy",
+                "--ranks",
+                "16",
+                "--steps",
+                "20",
+                "--lb-period",
+                "5",
+                "--particles",
+                "1000",
+                "--json",
+                str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup vs SPMD" in out
+        rows = json.loads(out_file.read_text())
+        assert len(rows) == 2
+
+    def test_bad_configuration(self):
+        with pytest.raises(ValueError, match="configuration"):
+            main(["empire", "--config", "warp", "--steps", "5"])
+
+
+class TestSweep:
+    def test_runs_spec_file(self, capsys, tmp_path):
+        from repro.analysis.io import save_json
+
+        spec = {
+            "workloads": {
+                "w": {"generator": "random", "n_tasks": 100, "n_ranks": 8}
+            },
+            "strategies": {"greedy": {"kind": "greedy"}},
+            "seeds": [0, 1],
+        }
+        spec_path = tmp_path / "spec.json"
+        save_json(spec, spec_path)
+        out_path = tmp_path / "rows.json"
+        code = main(["sweep", str(spec_path), "--json", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "greedy" in out and "sweep over 2 seeds" in out
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 1
+        assert rows[0]["raw"]["final"]
+
+
+class TestTrace:
+    def test_prints_gantt_and_stats(self, capsys):
+        code = main(["trace", "--ranks", "6", "--tasks-per-rank", "3", "--width", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank   0 |" in out
+        assert "mean utilization" in out
+        assert "messages by tag" in out
+
+
+class TestAmr:
+    def test_runs_mapping_study(self, capsys, tmp_path):
+        out_file = tmp_path / "amr.json"
+        code = main(
+            ["amr", "--ranks", "8", "--phases", "8", "--mapping", "sfc", "--json", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AMR mapping study (sfc)" in out
+        rows = json.loads(out_file.read_text())
+        assert rows[0]["phase"] == 0
+
+
+class TestProtocols:
+    def test_reports_costs(self, capsys, tmp_path):
+        out_file = tmp_path / "protocols.json"
+        code = main(["protocols", "--ranks", "16", "--json", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "allreduce" in out
+        row = json.loads(out_file.read_text())[0]
+        assert row["P"] == 16
+        assert row["coverage"] > 0.5

@@ -1,0 +1,135 @@
+"""Cross-module integration tests.
+
+These tie the three layers together: phase-level strategies, the
+event-level runtime, and the EMPIRE surrogate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TemperedLB
+from repro.core.distribution import Distribution
+from repro.core.tempered import TemperedConfig
+from repro.empire import EmpireConfig, run_empire
+from repro.runtime import AMTRuntime, LBManager
+from repro.workloads import MovingHotspot, paper_analysis_scenario
+
+
+class TestEventVsPhaseLevel:
+    """The event-level LB episode and the phase-level strategy implement
+    the same algorithm; on the same workload they must land in the same
+    quality class."""
+
+    def test_same_quality_class(self):
+        n_ranks, tasks_per_rank = 32, 8
+        rng = np.random.default_rng(5)
+        task_loads = rng.gamma(4.0, 0.25, size=n_ranks * tasks_per_rank)
+        assignment = np.zeros(n_ranks * tasks_per_rank, dtype=np.int64)
+        config = TemperedConfig(n_trials=1, n_iters=4, fanout=4, rounds=5)
+
+        # Phase level.
+        dist = Distribution(task_loads, assignment, n_ranks)
+        phase = TemperedLB(config).rebalance(dist, rng=np.random.default_rng(1))
+
+        # Event level.
+        runtime = AMTRuntime(n_ranks, task_loads, assignment.copy())
+        runtime.execute_phase()
+        event = LBManager(runtime, config, seed=1).run_episode()
+
+        assert phase.final_imbalance < 0.05 * phase.initial_imbalance
+        assert event.final_imbalance < 0.05 * event.initial_imbalance
+        # Within a factor of 3 of each other (different message orders).
+        ratio = max(phase.final_imbalance, 1e-3) / max(event.final_imbalance, 1e-3)
+        assert 1 / 3 < ratio < 3
+
+    def test_event_level_charges_time_phase_level_does_not(self):
+        n_ranks = 16
+        rng = np.random.default_rng(0)
+        task_loads = rng.random(64)
+        assignment = np.zeros(64, dtype=np.int64)
+        runtime = AMTRuntime(n_ranks, task_loads, assignment)
+        runtime.execute_phase()
+        before = runtime.system.engine.now
+        LBManager(runtime, TemperedConfig(n_trials=1, n_iters=1, fanout=2, rounds=2), seed=0).run_episode()
+        assert runtime.system.engine.now > before
+
+
+class TestTimeVaryingWorkloads:
+    def test_repeated_balancing_tracks_moving_hotspot(self):
+        """With a drifting hotspot, re-balancing every few phases keeps
+        the imbalance bounded while a one-shot balance decays."""
+        n_ranks, n_tasks = 16, 256
+        hotspot = MovingHotspot(n_tasks, base=0.5, amplitude=20.0, sigma=0.03, speed=0.01)
+        # Blocked layout: adjacent tasks (which the hotspot loads
+        # together) start on the same rank, as a domain decomposition
+        # would place them.
+        assignment = np.arange(n_tasks) * n_ranks // n_tasks
+        lb = TemperedLB(n_trials=1, n_iters=4, fanout=4, rounds=4)
+        rng = np.random.default_rng(2)
+
+        one_shot = assignment.copy()
+        periodic = assignment.copy()
+        one_shot_done = False
+        one_shot_imbalances, periodic_imbalances = [], []
+        for phase in range(30):
+            loads = hotspot.loads(phase)
+            if not one_shot_done:
+                res = lb.rebalance(Distribution(loads, one_shot, n_ranks), rng=rng)
+                one_shot = res.assignment
+                one_shot_done = True
+            if phase % 5 == 0:
+                res = lb.rebalance(Distribution(loads, periodic, n_ranks), rng=rng)
+                periodic = res.assignment
+            for sink, assign in ((one_shot_imbalances, one_shot), (periodic_imbalances, periodic)):
+                rank_loads = np.bincount(assign, weights=loads, minlength=n_ranks)
+                sink.append(rank_loads.max() / rank_loads.mean() - 1)
+        assert np.mean(periodic_imbalances[10:]) < np.mean(one_shot_imbalances[10:])
+
+    def test_persistence_is_what_makes_lb_work(self):
+        """Balancing on stale loads only helps while persistence holds:
+        a fast-moving hotspot defeats infrequent balancing."""
+        n_ranks, n_tasks = 16, 256
+        slow = MovingHotspot(n_tasks, base=0.5, amplitude=20.0, sigma=0.05, speed=0.001)
+        fast = MovingHotspot(n_tasks, base=0.5, amplitude=20.0, sigma=0.05, speed=0.2)
+        assert slow.persistence(0) > 0.99
+        assert fast.persistence(0) < 0.9
+
+        lb = TemperedLB(n_trials=1, n_iters=4, fanout=4, rounds=4)
+        outcomes = {}
+        for name, hotspot in (("slow", slow), ("fast", fast)):
+            assignment = np.arange(n_tasks) * n_ranks // n_tasks
+            res = lb.rebalance(
+                Distribution(hotspot.loads(0), assignment, n_ranks),
+                rng=np.random.default_rng(3),
+            )
+            # Execute the NEXT phase's loads under the balanced mapping.
+            next_loads = np.bincount(
+                res.assignment, weights=hotspot.loads(1), minlength=n_ranks
+            )
+            outcomes[name] = next_loads.max() / next_loads.mean() - 1
+        assert outcomes["slow"] < outcomes["fast"]
+
+
+class TestEndToEndDeterminism:
+    def test_empire_run_bit_stable(self):
+        cfg = EmpireConfig(
+            configuration="tempered",
+            n_ranks=25,
+            colors_per_rank=4,
+            n_steps=30,
+            lb_period=10,
+            initial_particles=2000,
+            injection_per_step=20,
+            n_trials=1,
+            n_iters=2,
+        )
+        a, b = run_empire(cfg), run_empire(cfg)
+        assert a.t_total == b.t_total
+        np.testing.assert_array_equal(
+            a.series.series("imbalance"), b.series.series("imbalance")
+        )
+
+    def test_analysis_scenario_stable(self):
+        a = paper_analysis_scenario(n_tasks=100, n_loaded_ranks=4, n_ranks=32, seed=9)
+        b = paper_analysis_scenario(n_tasks=100, n_loaded_ranks=4, n_ranks=32, seed=9)
+        assert a.imbalance() == b.imbalance()

@@ -1,0 +1,49 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import check_in, check_nonnegative, check_positive, coerce_rng
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        check_nonnegative("x", 0)
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), float("-inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", bad)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        check_in("mode", "a", ("a", "b"))
+
+    def test_rejects_with_choices_listed(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestCoerceRng:
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert coerce_rng(rng) is rng
+
+    def test_seed(self):
+        a, b = coerce_rng(42), coerce_rng(42)
+        assert a.random() == b.random()
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(coerce_rng(None), np.random.Generator)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.workloads.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    paper_analysis_scenario,
+    random_distribution,
+    skewed_distribution,
+)
+
+
+class TestPaperScenario:
+    def test_default_shape(self):
+        d = paper_analysis_scenario(n_tasks=100, n_loaded_ranks=4, n_ranks=64, seed=0)
+        assert d.n_tasks == 100
+        assert d.n_ranks == 64
+
+    def test_only_loaded_ranks_have_tasks(self):
+        d = paper_analysis_scenario(n_tasks=100, n_loaded_ranks=4, n_ranks=64, seed=0)
+        assert set(np.unique(d.assignment)) <= set(range(4))
+        assert (d.rank_loads()[4:] == 0).all()
+
+    def test_paper_scale_initial_imbalance(self):
+        # The paper reports I0 = 280 for 10^4 tasks on 16 of 4096 ranks;
+        # our load draw lands in the same regime (~250-300).
+        d = paper_analysis_scenario(seed=3)
+        assert 200 < d.imbalance() < 350
+
+    def test_loads_positive(self):
+        d = paper_analysis_scenario(n_tasks=500, n_loaded_ranks=2, n_ranks=8, seed=1)
+        assert (d.task_loads > 0).all()
+
+    def test_mean_load_respected(self):
+        d = paper_analysis_scenario(
+            n_tasks=5000, n_loaded_ranks=2, n_ranks=8, mean_load=3.0, seed=2
+        )
+        assert d.task_loads.mean() == pytest.approx(3.0, rel=0.1)
+
+    def test_zero_cv_constant_loads(self):
+        d = paper_analysis_scenario(
+            n_tasks=10, n_loaded_ranks=2, n_ranks=4, load_cv=0.0, seed=0
+        )
+        assert np.ptp(d.task_loads) == 0.0
+
+    def test_loaded_exceeding_total_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            paper_analysis_scenario(n_loaded_ranks=10, n_ranks=5)
+
+    def test_deterministic(self):
+        a = paper_analysis_scenario(n_tasks=50, n_loaded_ranks=2, n_ranks=8, seed=7)
+        b = paper_analysis_scenario(n_tasks=50, n_loaded_ranks=2, n_ranks=8, seed=7)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+        np.testing.assert_array_equal(a.task_loads, b.task_loads)
+
+
+class TestSkewed:
+    def test_zero_skew_roughly_uniform(self):
+        d = skewed_distribution(20000, 10, skew=0.0, seed=0)
+        counts = np.bincount(d.assignment, minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_high_skew_concentrates(self):
+        d = skewed_distribution(5000, 50, skew=2.5, seed=0)
+        counts = np.bincount(d.assignment, minlength=50)
+        assert counts[0] > 0.5 * d.n_tasks
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError, match="skew"):
+            skewed_distribution(10, 4, skew=-1.0)
+
+    def test_imbalance_grows_with_skew(self):
+        low = skewed_distribution(5000, 32, skew=0.5, seed=1)
+        high = skewed_distribution(5000, 32, skew=2.0, seed=1)
+        assert high.imbalance() > low.imbalance()
+
+
+class TestRandom:
+    def test_low_imbalance(self):
+        d = random_distribution(50000, 16, seed=0)
+        assert d.imbalance() < 0.2
+
+    def test_cv_controls_spread(self):
+        tight = random_distribution(5000, 4, load_cv=0.1, seed=2)
+        wide = random_distribution(5000, 4, load_cv=1.5, seed=2)
+        assert wide.task_loads.std() > tight.task_loads.std()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            random_distribution(0, 4)
+        with pytest.raises(ValueError):
+            random_distribution(10, 4, mean_load=-1.0)
+        with pytest.raises(ValueError):
+            random_distribution(10, 4, load_cv=-0.5)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.workloads.timevarying."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MovingHotspot, PersistenceNoise
+
+
+class TestMovingHotspot:
+    def test_loads_bounded_below_by_base(self):
+        w = MovingHotspot(100, base=2.0, amplitude=5.0)
+        assert (w.loads(0) >= 2.0).all()
+
+    def test_peak_near_center(self):
+        w = MovingHotspot(1000, base=1.0, amplitude=10.0, sigma=0.02, center0=0.5)
+        loads = w.loads(0)
+        peak_pos = np.argmax(loads) / 1000
+        assert abs(peak_pos - 0.5) < 0.01
+
+    def test_center_drifts(self):
+        w = MovingHotspot(100, speed=0.01, center0=0.0)
+        assert w.center(10) == pytest.approx(0.1)
+        assert w.center(150) == pytest.approx(0.5)  # wraps mod 1
+
+    def test_zero_speed_is_static(self):
+        w = MovingHotspot(50, speed=0.0)
+        np.testing.assert_array_equal(w.loads(0), w.loads(100))
+
+    def test_persistence_high_for_slow_drift(self):
+        slow = MovingHotspot(500, speed=0.0005, sigma=0.1)
+        assert slow.persistence(0) > 0.99
+
+    def test_persistence_decays_with_speed(self):
+        slow = MovingHotspot(500, speed=0.001, sigma=0.05)
+        fast = MovingHotspot(500, speed=0.2, sigma=0.05)
+        assert fast.persistence(0) < slow.persistence(0)
+
+    def test_total_load_roughly_conserved_over_time(self):
+        # The hotspot moves but does not grow: total load is constant
+        # up to discretization of the Gaussian on the grid.
+        w = MovingHotspot(2000, base=1.0, amplitude=5.0, sigma=0.03)
+        totals = [w.loads(t).sum() for t in range(0, 200, 20)]
+        assert np.ptp(totals) / np.mean(totals) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingHotspot(0)
+        with pytest.raises(ValueError):
+            MovingHotspot(10, sigma=0.0)
+        with pytest.raises(ValueError):
+            MovingHotspot(10, amplitude=-1.0)
+
+
+class TestPersistenceNoise:
+    def test_zero_sigma_identity(self):
+        noise = PersistenceNoise(sigma=0.0)
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(noise.perturb(x), x)
+
+    def test_zero_sigma_returns_copy(self):
+        noise = PersistenceNoise(sigma=0.0)
+        x = np.array([1.0])
+        out = noise.perturb(x)
+        out[0] = 99.0
+        assert x[0] == 1.0
+
+    def test_noise_preserves_positivity(self):
+        noise = PersistenceNoise(sigma=0.5, seed=0)
+        x = np.full(1000, 2.0)
+        out = noise.perturb(x)
+        assert (out > 0).all()
+
+    def test_noise_magnitude_scales_with_sigma(self):
+        x = np.full(5000, 1.0)
+        small = PersistenceNoise(sigma=0.05, seed=1).perturb(x)
+        large = PersistenceNoise(sigma=0.8, seed=1).perturb(x)
+        assert large.std() > small.std()
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            PersistenceNoise(sigma=-0.1)

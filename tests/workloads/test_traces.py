@@ -1,0 +1,90 @@
+"""Unit tests for repro.workloads.traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyLB
+from repro.core.tempered import TemperedLB
+from repro.workloads.traces import LoadTrace, synthesize_trace
+
+
+class TestLoadTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LoadTrace(np.ones(5))
+        with pytest.raises(ValueError, match="non-empty"):
+            LoadTrace(np.empty((0, 0)))
+        with pytest.raises(ValueError, match="finite"):
+            LoadTrace(np.array([[1.0, np.nan]]))
+
+    def test_phase_access(self):
+        trace = LoadTrace(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(trace.phase(1), [3.0, 4.0])
+        assert trace.n_phases == 2 and trace.n_tasks == 2
+
+    def test_persistence_perfect_for_static(self):
+        trace = LoadTrace(np.tile([1.0, 5.0, 2.0], (4, 1)))
+        assert trace.persistence(0) == pytest.approx(1.0)
+        assert trace.mean_persistence() == pytest.approx(1.0)
+
+    def test_persistence_low_for_shuffled(self):
+        rng = np.random.default_rng(0)
+        loads = np.stack([rng.permutation(np.arange(1.0, 101.0)) for _ in range(3)])
+        trace = LoadTrace(loads)
+        assert abs(trace.persistence(0)) < 0.5
+
+    def test_persistence_index_bounds(self):
+        trace = LoadTrace(np.ones((2, 3)))
+        with pytest.raises(IndexError):
+            trace.persistence(1)
+
+    def test_roundtrip(self, tmp_path):
+        trace = synthesize_trace("noisy", n_phases=4, n_tasks=8, seed=1)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = LoadTrace.load(path)
+        np.testing.assert_allclose(loaded.loads, trace.loads)
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        from repro.analysis.io import save_json
+
+        path = tmp_path / "bad.json"
+        save_json({"n_phases": 9, "n_tasks": 2, "loads": [[1.0, 2.0]]}, path)
+        with pytest.raises(ValueError, match="inconsistent"):
+            LoadTrace.load(path)
+
+
+class TestSynthesize:
+    def test_hotspot_moves(self):
+        trace = synthesize_trace("hotspot", n_phases=30, n_tasks=200)
+        assert np.argmax(trace.phase(0)) != np.argmax(trace.phase(29))
+        assert trace.mean_persistence() > 0.8
+
+    def test_noisy_static(self):
+        trace = synthesize_trace("noisy", n_phases=10, n_tasks=100, seed=2)
+        assert trace.mean_persistence() > 0.8
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            synthesize_trace("psychic")
+
+
+class TestReplay:
+    def test_balancing_improves_executed_imbalance(self):
+        trace = synthesize_trace("hotspot", n_phases=20, n_tasks=256)
+        balanced = trace.replay(TemperedLB(n_trials=1, n_iters=4, fanout=3, rounds=4),
+                                n_ranks=16, lb_period=2, seed=0)
+        # Steady-state executed imbalance is small.
+        steady = [imb for phase, imb, _ in balanced if phase > 6]
+        assert np.mean(steady) < 0.5
+
+    def test_first_phase_never_balanced(self):
+        trace = synthesize_trace("noisy", n_phases=3, n_tasks=64, seed=3)
+        rows = trace.replay(GreedyLB(), n_ranks=8, lb_period=1)
+        assert rows[0][2] == 0  # no migrations in phase 0
+        assert rows[1][2] > 0
+
+    def test_validation(self):
+        trace = synthesize_trace("noisy", n_phases=2, n_tasks=8)
+        with pytest.raises(ValueError):
+            trace.replay(GreedyLB(), n_ranks=0)
