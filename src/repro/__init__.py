@@ -38,6 +38,7 @@ from repro.core.greedy import GreedyLB
 from repro.core.hier import HierLB
 from repro.core.metrics import LoadStatistics, imbalance, load_statistics
 from repro.core.tempered import TemperedConfig, TemperedLB
+from repro.obs import StatsRegistry
 
 __version__ = "1.0.0"
 
@@ -50,6 +51,7 @@ __all__ = [
     "LBResult",
     "LoadBalancer",
     "LoadStatistics",
+    "StatsRegistry",
     "TemperedConfig",
     "TemperedLB",
     "imbalance",

@@ -21,9 +21,12 @@ from repro.analysis.io import (
     load_json,
     load_records,
     load_series,
+    load_stats,
     save_json,
     save_records,
     save_series,
+    save_stats,
+    stats_to_csv,
 )
 from repro.analysis.plot import histogram, sparkline, strip_chart
 from repro.analysis.report import lb_report
@@ -53,9 +56,12 @@ __all__ = [
     "load_json",
     "load_records",
     "load_series",
+    "load_stats",
     "save_json",
     "save_records",
     "save_series",
+    "save_stats",
+    "stats_to_csv",
     "strategy_comparison",
     "SweepSpec",
     "run_sweep",

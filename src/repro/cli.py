@@ -11,6 +11,10 @@ Commands
 ``protocols``
     Measure event-level protocol costs (allreduce, gossip, migration)
     at a given rank count.
+``stats``
+    Run an instrumented balancer over a time-varying workload and
+    summarize the telemetry registry (counters, per-iteration series),
+    or summarize a previously exported stats JSON.
 ``version``
     Print the package version.
 
@@ -83,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mapping", choices=["sfc", "balancer"], default="balancer")
     p.add_argument("--json", type=str, default=None)
 
+    p = sub.add_parser("stats", help="instrumented run telemetry summary/export")
+    p.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="existing stats JSON to summarize (omit to run a fresh episode)",
+    )
+    p.add_argument("--balancer", choices=["tempered", "grapevine"], default="tempered")
+    p.add_argument("--tasks", type=int, default=2000)
+    p.add_argument("--ranks", type=int, default=64)
+    p.add_argument("--phases", type=int, default=4)
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--iters", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", type=str, default=None)
+    p.add_argument("--csv", type=str, default=None)
+
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -95,6 +116,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "amr": _cmd_amr,
         "empire": _cmd_empire,
         "protocols": _cmd_protocols,
+        "stats": _cmd_stats,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "version": _cmd_version,
@@ -273,6 +295,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     util = tracer.utilization()
     print(f"\nmean utilization: {util.mean():.2f} "
           f"(min {util.min():.2f}, max {util.max():.2f})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.io import load_stats, save_stats, stats_to_csv
+    from repro.obs import StatsRegistry
+
+    if args.input is not None:
+        registry = load_stats(args.input)
+        print(registry.summary())
+        return 0
+
+    from repro.core.distribution import Distribution
+    from repro.core.grapevine import GrapevineLB
+    from repro.core.tempered import TemperedLB
+    from repro.workloads import MovingHotspot
+
+    registry = StatsRegistry()
+    if args.balancer == "grapevine":
+        lb = GrapevineLB(n_iters=args.iters)
+    else:
+        lb = TemperedLB(n_trials=args.trials, n_iters=args.iters)
+    lb.instrument(registry)
+
+    # A drifting hotspot gives each phase a different imbalance profile,
+    # so the per-iteration series shows time-varying behavior.
+    hotspot = MovingHotspot(args.tasks, speed=0.02)
+    rng = np.random.default_rng(args.seed)
+    assignment = rng.integers(0, max(args.ranks // 8, 1), size=args.tasks)
+    for phase in range(args.phases):
+        dist = Distribution(hotspot.loads(phase), assignment, args.ranks)
+        result = lb.rebalance(dist, rng=rng)
+        assignment = result.assignment
+        print(
+            f"phase {phase}: I {result.initial_imbalance:8.3f} -> "
+            f"{result.final_imbalance:6.3f}  migrations {result.n_migrations}"
+        )
+    print()
+    print(registry.summary())
+    if args.json:
+        save_stats(registry, args.json)
+    if args.csv:
+        stats_to_csv(registry, args.csv)
     return 0
 
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.distribution import Distribution
 from repro.core.metrics import imbalance
+from repro.obs import StatsRegistry
 from repro.util.validation import coerce_rng
 
 __all__ = ["IterationRecord", "LBResult", "LoadBalancer"]
@@ -65,6 +66,23 @@ class LoadBalancer(ABC):
     #: Human-readable strategy name (matches the paper's configuration labels).
     name: str = "base"
 
+    #: Attached observability sink (see :meth:`instrument`); ``None`` by
+    #: default, in which case strategies record nothing and behave
+    #: byte-identically to an un-instrumented build.
+    registry: StatsRegistry | None = None
+
+    def instrument(self, registry: StatsRegistry | None) -> "LoadBalancer":
+        """Attach a :class:`~repro.obs.StatsRegistry` and return ``self``.
+
+        Instrumentation-aware strategies (the gossip family) thread the
+        registry through their inform/transfer/refinement stages; every
+        strategy records a per-invocation ``lb.rebalance`` event.
+        Attaching never changes RNG consumption, so results are
+        unaffected. Pass ``None`` to detach.
+        """
+        self.registry = registry
+        return self
+
     @abstractmethod
     def rebalance(
         self, dist: Distribution, rng: np.random.Generator | int | None = None
@@ -89,7 +107,7 @@ class LoadBalancer(ABC):
         final_loads = np.bincount(
             assignment, weights=dist.task_loads, minlength=dist.n_ranks
         )
-        return LBResult(
+        result = LBResult(
             strategy=self.name,
             assignment=assignment,
             initial_imbalance=dist.imbalance(),
@@ -98,3 +116,13 @@ class LoadBalancer(ABC):
             records=records or [],
             extra=extra,
         )
+        if self.registry is not None and self.registry.enabled:
+            self.registry.inc("lb.rebalances")
+            self.registry.event(
+                "lb.rebalance",
+                strategy=self.name,
+                initial_imbalance=result.initial_imbalance,
+                final_imbalance=result.final_imbalance,
+                n_migrations=result.n_migrations,
+            )
+        return result

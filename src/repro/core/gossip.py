@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.knowledge import KnowledgeBitmap
+from repro.obs import StatsRegistry
 from repro.util.validation import check_in, check_positive, coerce_rng
 
 __all__ = ["GossipConfig", "GossipResult", "GossipExplosionError", "run_inform_stage"]
@@ -145,6 +146,7 @@ def run_inform_stage(
     config: GossipConfig | None = None,
     rng: np.random.Generator | int | None = None,
     average_load: float | None = None,
+    registry: StatsRegistry | None = None,
 ) -> GossipResult:
     """Execute Algorithm 1 over all ranks and return the gathered knowledge.
 
@@ -159,6 +161,11 @@ def run_inform_stage(
     average_load:
         :math:`\\ell_{ave}`; computed from ``rank_loads`` when omitted
         (models the constant-size statistics all-reduce).
+    registry:
+        Optional :class:`~repro.obs.StatsRegistry`; when attached, the
+        stage records its message/byte counters, per-stage series and
+        knowledge-set sizes. Instrumentation never consumes RNG, so
+        results are identical with or without it.
     """
     config = config or GossipConfig()
     rng = coerce_rng(rng)
@@ -180,6 +187,8 @@ def run_inform_stage(
     )
     seeds = np.flatnonzero(underloaded)
     if seeds.size == 0:
+        if registry is not None and registry.enabled:
+            _record_inform_stage(registry, result)
         return result
     know.add_self(seeds)
 
@@ -187,7 +196,28 @@ def run_inform_stage(
         _run_coalesced(know, seeds, config, rng, result)
     else:
         _run_per_message(know, seeds, config, rng, result)
+    if registry is not None and registry.enabled:
+        _record_inform_stage(registry, result)
     return result
+
+
+def _record_inform_stage(registry: StatsRegistry, result: GossipResult) -> None:
+    """Account one finished inform stage into a registry."""
+    registry.inc("gossip.stages")
+    registry.inc("gossip.messages", result.n_messages)
+    registry.inc("gossip.bytes", result.bytes_sent)
+    registry.inc("gossip.inter_node_messages", result.inter_node_messages)
+    known_counts = result.knowledge.counts()
+    registry.observe(
+        "gossip.stage",
+        messages=result.n_messages,
+        bytes=result.bytes_sent,
+        rounds_run=result.rounds_run,
+        underloaded=int(result.underloaded.sum()),
+        coverage=float(result.coverage()),
+        mean_known=float(known_counts.mean()),
+        max_known=int(known_counts.max()),
+    )
 
 
 def _record_send(

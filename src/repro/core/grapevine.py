@@ -48,10 +48,12 @@ class GrapevineLB(LoadBalancer):
             gossip_mode=gossip_mode,
         )
         self._impl = TemperedLB(self.config)
+        self._impl.name = self.name  # results and events report the preset's name
 
     def rebalance(
         self, dist: Distribution, rng: np.random.Generator | int | None = None
     ) -> LBResult:
+        self._impl.registry = self.registry  # thread any attached sink through
         result = self._impl.rebalance(dist, rng)
         result.strategy = self.name
         return result

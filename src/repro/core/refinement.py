@@ -20,6 +20,7 @@ from repro.core.distribution import Distribution
 from repro.core.gossip import GossipConfig, run_inform_stage
 from repro.core.metrics import imbalance
 from repro.core.transfer import TransferConfig, transfer_stage
+from repro.obs import StatsRegistry
 from repro.util.validation import check_positive, coerce_rng
 
 __all__ = ["RefinementResult", "iterative_refinement"]
@@ -48,12 +49,19 @@ def iterative_refinement(
     gossip: GossipConfig | None = None,
     transfer: TransferConfig | None = None,
     rng: np.random.Generator | int | None = None,
+    registry: StatsRegistry | None = None,
 ) -> RefinementResult:
     """Run Algorithm 3 and return the best proposal.
 
     The input distribution is never mutated. ``l_ave`` is constant across
     iterations (no load is created or destroyed), matching the paper's
     observation in § V-B.
+
+    With a ``registry`` attached, every (trial, iteration) appends one
+    row to the ``lb.iteration`` series — the programmatic form of the
+    paper's § V-B/§ V-D tables — and the inform/transfer stages record
+    their own counters. Instrumentation draws no RNG, so the refined
+    assignment is identical with or without it.
     """
     check_positive("n_trials", n_trials)
     check_positive("n_iters", n_iters)
@@ -72,12 +80,17 @@ def iterative_refinement(
         initial_imbalance=initial,
     )
 
+    instrumented = registry is not None and registry.enabled
     for trial in range(1, int(n_trials) + 1):
         working = np.array(original, copy=True)  # Alg. 3 l.3: reset per trial
         for iteration in range(1, int(n_iters) + 1):
             loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
-            inform = run_inform_stage(loads, gossip, rng, average_load=l_ave)
-            stats = transfer_stage(working, dist.task_loads, inform, transfer, rng)
+            inform = run_inform_stage(
+                loads, gossip, rng, average_load=l_ave, registry=registry
+            )
+            stats = transfer_stage(
+                working, dist.task_loads, inform, transfer, rng, registry=registry
+            )
             loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
             proposal_imbalance = imbalance(loads)
             result.records.append(
@@ -93,7 +106,34 @@ def iterative_refinement(
             )
             result.total_gossip_messages += inform.n_messages
             result.total_gossip_bytes += inform.bytes_sent
+            if instrumented:
+                registry.inc("lb.iterations")
+                registry.observe(
+                    "lb.iteration",
+                    trial=trial,
+                    iteration=iteration,
+                    proposed=stats.proposed,
+                    accepted=stats.transfers,
+                    rejected=stats.rejections,
+                    nacked=stats.nacked,
+                    rejection_rate=stats.rejection_rate,
+                    cmf_builds=stats.cmf_builds,
+                    imbalance=proposal_imbalance,
+                    gossip_messages=inform.n_messages,
+                    gossip_bytes=inform.bytes_sent,
+                )
             if proposal_imbalance < result.best_imbalance:
                 result.best_imbalance = proposal_imbalance
                 result.best_assignment = np.array(working, copy=True)
+    if instrumented:
+        registry.inc("lb.refinements")
+        registry.event(
+            "lb.refinement",
+            n_trials=int(n_trials),
+            n_iters=int(n_iters),
+            initial_imbalance=result.initial_imbalance,
+            best_imbalance=result.best_imbalance,
+            gossip_messages=result.total_gossip_messages,
+            gossip_bytes=result.total_gossip_bytes,
+        )
     return result

@@ -132,6 +132,7 @@ class TemperedLB(LoadBalancer):
             gossip=self.config.gossip_config(),
             transfer=self.config.transfer_config(),
             rng=rng,
+            registry=self.registry,
         )
         return self._make_result(
             dist,

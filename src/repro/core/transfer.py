@@ -39,6 +39,7 @@ from repro.core.cmf import CMF_MODIFIED, CMF_ORIGINAL, build_cmf, sample_cmf
 from repro.core.criteria import CRITERIA, CRITERION_RELAXED
 from repro.core.gossip import GossipResult
 from repro.core.ordering import ORDER_ARBITRARY, ORDERINGS, order_tasks
+from repro.obs import StatsRegistry
 from repro.util.validation import check_in, check_positive, coerce_rng
 
 __all__ = ["TransferConfig", "TransferStats", "transfer_stage", "transfer_from_rank"]
@@ -90,8 +91,14 @@ class TransferStats:
     overloaded_ranks: int = 0
     stalled_ranks: int = 0
     rank_processings: int = 0
+    cmf_builds: int = 0  #: BUILDCMF invocations (l.5 vs l.7 cost)
     budget_exhausted: bool = False
     moves: list[tuple[int, int, int]] = field(default_factory=list)  #: (task, src, dst)
+
+    @property
+    def proposed(self) -> int:
+        """Criterion evaluations: accepted + rejected proposals."""
+        return self.transfers + self.rejections
 
     @property
     def rejection_rate(self) -> float:
@@ -107,8 +114,20 @@ class TransferStats:
         self.overloaded_ranks += other.overloaded_ranks
         self.stalled_ranks += other.stalled_ranks
         self.rank_processings += other.rank_processings
+        self.cmf_builds += other.cmf_builds
         self.budget_exhausted |= other.budget_exhausted
         self.moves.extend(other.moves)
+
+    def record(self, registry: StatsRegistry, prefix: str = "transfer") -> None:
+        """Add this stage's counters to a registry under ``prefix``."""
+        registry.inc(f"{prefix}.stages")
+        registry.inc(f"{prefix}.proposed", self.proposed)
+        registry.inc(f"{prefix}.accepted", self.transfers)
+        registry.inc(f"{prefix}.rejected", self.rejections)
+        registry.inc(f"{prefix}.nacked", self.nacked)
+        registry.inc(f"{prefix}.cmf_builds", self.cmf_builds)
+        registry.inc(f"{prefix}.overloaded_ranks", self.overloaded_ranks)
+        registry.inc(f"{prefix}.stalled_ranks", self.stalled_ranks)
 
 
 def transfer_stage(
@@ -117,6 +136,7 @@ def transfer_stage(
     gossip: GossipResult,
     config: TransferConfig | None = None,
     rng: np.random.Generator | int | None = None,
+    registry: StatsRegistry | None = None,
 ) -> TransferStats:
     """Run Algorithm 2 on every overloaded rank, mutating ``assignment``.
 
@@ -134,6 +154,10 @@ def transfer_stage(
         Algorithm 2 knobs; defaults to the TemperedLB configuration.
     rng:
         Seed or generator for CMF sampling.
+    registry:
+        Optional :class:`~repro.obs.StatsRegistry`; records the stage's
+        proposal/acceptance counters under the ``transfer.`` prefix.
+        Never consumes RNG.
     """
     config = config or TransferConfig()
     rng = coerce_rng(rng)
@@ -148,6 +172,8 @@ def transfer_stage(
     overloaded = np.flatnonzero(loads > threshold_load)
     stats.overloaded_ranks = overloaded.size
     if overloaded.size == 0:
+        if registry is not None and registry.enabled:
+            stats.record(registry)
         return stats
 
     # Mutable per-rank task lists. Senders only consult their own list;
@@ -178,6 +204,8 @@ def transfer_stage(
                 if loads[r] > threshold_load and r not in queued:
                     queue.append(r)
                     queued.add(r)
+    if registry is not None and registry.enabled:
+        stats.record(registry)
     return stats
 
 
@@ -188,6 +216,7 @@ def transfer_from_rank(
     gossip: GossipResult,
     config: TransferConfig | None = None,
     rng: np.random.Generator | int | None = None,
+    registry: StatsRegistry | None = None,
 ) -> TransferStats:
     """Run Algorithm 2 for a single rank ``p`` (the per-rank view an
     event-level runtime charges each rank for). Mutates ``assignment``
@@ -218,6 +247,8 @@ def transfer_from_rank(
         rng,
         stats,
     )
+    if registry is not None and registry.enabled:
+        stats.record(registry)
     return stats
 
 
@@ -258,6 +289,7 @@ def _transfer_from_rank(
 
     max_passes = config.max_passes if config.max_passes is not None else _PASS_CAP
     cmf = build_cmf(known_loads, l_ave, config.cmf)
+    stats.cmf_builds += 1
     for _ in range(max_passes):
         if loads[p] <= threshold_load or not tasks:
             break
@@ -288,6 +320,7 @@ def _transfer_from_rank(
                         known_loads[idx] = float(loads[recipient])
                         if config.recompute_cmf:
                             cmf = build_cmf(known_loads, l_ave, config.cmf)
+                            stats.cmf_builds += 1
                     continue
                 if not shared:
                     known_loads[idx] = l_x + o_load
@@ -303,6 +336,7 @@ def _transfer_from_rank(
                     if shared:
                         known_loads = loads[candidates]
                     cmf = build_cmf(known_loads, l_ave, config.cmf)
+                    stats.cmf_builds += 1
             else:
                 stats.rejections += 1
         if accepted:

@@ -1,0 +1,70 @@
+"""Structured event records for the observability layer.
+
+An :class:`Event` is one discrete, schema-bearing occurrence — an LB
+episode committing, a refinement run finishing — as opposed to the
+monotonic counters and per-iteration series kept by
+:class:`~repro.obs.registry.StatsRegistry`. Events carry:
+
+``kind``
+    A dotted lowercase identifier (``"lb.rebalance"``,
+    ``"lb.episode"``) naming the event schema.
+``time``
+    Simulated seconds when known (event-level runtime), else ``None``
+    (phase-level algorithms run in zero simulated time).
+``rank``
+    The rank the event is charged to, or ``None`` for global events.
+``fields``
+    Scalar payload (str/int/float/bool) specific to the kind.
+
+Events serialize losslessly through :meth:`Event.to_dict` /
+:meth:`Event.from_dict`, which is what
+:func:`repro.analysis.io.save_stats` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Event"]
+
+#: Field values an event may carry (kept JSON-trivial on purpose).
+Scalar = "str | int | float | bool | None"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence recorded by a registry."""
+
+    kind: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    time: float | None = None
+    rank: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("event kind must be non-empty")
+        for key, value in self.fields.items():
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                raise TypeError(
+                    f"event field {key!r} must be a scalar, got {type(value).__name__}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        payload: dict[str, Any] = {"kind": self.kind, "fields": dict(self.fields)}
+        if self.time is not None:
+            payload["time"] = float(self.time)
+        if self.rank is not None:
+            payload["rank"] = int(self.rank)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(payload["kind"]),
+            fields=dict(payload.get("fields", {})),
+            time=payload.get("time"),
+            rank=payload.get("rank"),
+        )

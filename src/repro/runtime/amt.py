@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import StatsRegistry
 from repro.runtime.phase import PhaseBarrier, PhaseInstrumentation
 from repro.sim.network import NetworkModel
 from repro.sim.process import System
@@ -61,10 +62,16 @@ class AMTRuntime:
         task_overhead: float = 0.0,
         handler_overhead: float = 2e-7,
         rank_speeds: np.ndarray | None = None,
+        registry: "StatsRegistry | None" = None,
     ) -> None:
         check_positive("n_ranks", n_ranks)
         check_nonnegative("task_overhead", task_overhead)
-        self.system = System(int(n_ranks), network=network, handler_overhead=handler_overhead)
+        self.system = System(
+            int(n_ranks),
+            network=network,
+            handler_overhead=handler_overhead,
+            registry=registry,
+        )
         self.task_loads = np.ascontiguousarray(task_loads, dtype=np.float64)
         self.assignment = np.ascontiguousarray(assignment, dtype=np.int64)
         if self.task_loads.shape != self.assignment.shape:

@@ -24,6 +24,7 @@ from repro.core.base import IterationRecord
 from repro.core.metrics import imbalance
 from repro.core.tempered import TemperedConfig
 from repro.core.transfer import TransferStats, transfer_from_rank
+from repro.obs import StatsRegistry
 from repro.runtime.amt import AMTRuntime
 from repro.runtime.distributed_gossip import DistributedGossip
 from repro.runtime.migration import MigrationResult, migrate_tasks
@@ -62,6 +63,7 @@ class LBManager:
         seed: int = 0,
         bytes_per_unit_load: float = 1e6,
         migration_fixed_bytes: int = 2048,
+        registry: StatsRegistry | None = None,
     ) -> None:
         self.runtime = runtime
         self.config = config or TemperedConfig()
@@ -69,6 +71,11 @@ class LBManager:
         self.decision_rng = np.random.default_rng(seed)
         self.bytes_per_unit_load = float(bytes_per_unit_load)
         self.migration_fixed_bytes = int(migration_fixed_bytes)
+        #: Optional telemetry sink: per-episode ``lb.episode`` events
+        #: (imbalance before/after, migration volume, t_lb), the
+        #: ``episode.iteration`` series, and the transfer counters.
+        #: Never consumes RNG, so episode outcomes are unchanged.
+        self.registry = registry
 
     def run_episode(self, predicted_loads: np.ndarray | None = None) -> DistributedLBResult:
         """Balance using the given (or instrumented) per-task loads.
@@ -132,6 +139,7 @@ class LBManager:
                         gossip_result,
                         transfer_cfg,
                         rng=self.decision_rng,
+                        registry=self.registry,
                     )
                     attempts = rank_stats.transfers + rank_stats.rejections
                     if attempts:
@@ -152,6 +160,24 @@ class LBManager:
                         gossip_bytes=gossip.bytes_sent,
                     )
                 )
+                if self.registry is not None and self.registry.enabled:
+                    self.registry.inc("episode.iterations")
+                    self.registry.inc("gossip.messages", gossip.n_messages)
+                    self.registry.inc("gossip.bytes", gossip.bytes_sent)
+                    self.registry.observe(
+                        "episode.iteration",
+                        trial=trial,
+                        iteration=iteration,
+                        proposed=stats.proposed,
+                        accepted=stats.transfers,
+                        rejected=stats.rejections,
+                        rejection_rate=stats.rejection_rate,
+                        cmf_builds=stats.cmf_builds,
+                        imbalance=proposed,
+                        gossip_messages=gossip.n_messages,
+                        gossip_bytes=gossip.bytes_sent,
+                        gossip_elapsed=gossip.elapsed,
+                    )
                 if proposed < best_imbalance:
                     best_imbalance = proposed
                     best = working.copy()
@@ -172,7 +198,7 @@ class LBManager:
             )
         runtime.apply_assignment(best)
 
-        return DistributedLBResult(
+        result = DistributedLBResult(
             assignment=best,
             initial_imbalance=initial_imbalance,
             final_imbalance=best_imbalance,
@@ -184,6 +210,29 @@ class LBManager:
             gossip_bytes=gossip_bytes,
             records=records,
         )
+        if self.registry is not None and self.registry.enabled:
+            reg = self.registry
+            bytes_moved = migration.bytes_moved if migration is not None else 0
+            reg.inc("episode.runs")
+            reg.inc("episode.migrations", len(moves))
+            reg.inc("episode.migration_bytes", bytes_moved)
+            reg.add_time("episode.t_lb", result.t_lb)
+            reg.add_time("episode.gossip_time", gossip_time)
+            if migration is not None:
+                reg.add_time("episode.migration_time", migration.duration)
+            reg.event(
+                "lb.episode",
+                time=system.engine.now,
+                initial_imbalance=initial_imbalance,
+                final_imbalance=best_imbalance,
+                n_migrations=len(moves),
+                migration_bytes=bytes_moved,
+                t_lb=result.t_lb,
+                gossip_time=gossip_time,
+                gossip_messages=gossip_messages,
+                gossip_bytes=gossip_bytes,
+            )
+        return result
 
     def _stats_allreduce(self, rank_loads: np.ndarray) -> None:
         """Simulate the constant-size (total, max) all-reduce."""

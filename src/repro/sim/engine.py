@@ -11,19 +11,28 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+from repro.obs import StatsRegistry
 from repro.util.validation import check_nonnegative
 
 __all__ = ["Engine"]
 
 
 class Engine:
-    """A deterministic discrete-event scheduler."""
+    """A deterministic discrete-event scheduler.
 
-    def __init__(self) -> None:
+    An optional :class:`~repro.obs.StatsRegistry` receives aggregate
+    accounting per :meth:`run` call (events dispatched, simulated time
+    advanced, remaining queue depth). Recording happens outside the
+    dispatch loop so the per-event hot path is identical with or
+    without instrumentation.
+    """
+
+    def __init__(self, registry: StatsRegistry | None = None) -> None:
         self._queue: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        self._registry = registry
 
     @property
     def now(self) -> float:
@@ -61,21 +70,29 @@ class Engine:
         advances exactly to ``until``.
         """
         dispatched = 0
-        while self._queue:
-            when, _, callback, args = self._queue[0]
-            if until is not None and when > until:
+        start_time = self._now
+        try:
+            while self._queue:
+                when, _, callback, args = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and dispatched >= max_events:
+                    return self._now
+                heapq.heappop(self._queue)
+                self._now = when
+                self._events_processed += 1
+                dispatched += 1
+                callback(*args)
+            if until is not None and until > self._now:
                 self._now = until
-                return self._now
-            if max_events is not None and dispatched >= max_events:
-                return self._now
-            heapq.heappop(self._queue)
-            self._now = when
-            self._events_processed += 1
-            dispatched += 1
-            callback(*args)
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+            return self._now
+        finally:
+            if self._registry is not None and self._registry.enabled:
+                self._registry.inc("engine.runs")
+                self._registry.inc("engine.events", dispatched)
+                self._registry.add_time("engine.sim_time", self._now - start_time)
+                self._registry.gauge("engine.queue_depth", len(self._queue))
 
     def step(self) -> bool:
         """Dispatch exactly one event; returns False when the queue is empty."""

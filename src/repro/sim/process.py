@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable
 
+from repro.obs import StatsRegistry
 from repro.sim.engine import Engine
 from repro.sim.messages import Message
 from repro.sim.network import NetworkModel
@@ -112,10 +113,15 @@ class System:
         n_ranks: int,
         network: NetworkModel | None = None,
         handler_overhead: float = 2e-7,
+        registry: StatsRegistry | None = None,
     ) -> None:
         check_positive("n_ranks", n_ranks)
         check_nonnegative("handler_overhead", handler_overhead)
-        self.engine = Engine()
+        #: Optional telemetry sink; when attached, every transmit is
+        #: counted per tag (``net.messages.<tag>`` / ``net.bytes.<tag>``)
+        #: and per link class, and the engine records run aggregates.
+        self.registry = registry
+        self.engine = Engine(registry=registry)
         self.network = network or NetworkModel()
         #: Fixed CPU cost charged per handler execution (task creation /
         #: scheduling overhead of the AMT runtime).
@@ -159,6 +165,10 @@ class System:
             raise ValueError(f"destination rank {msg.dst} out of range")
         self.messages_sent += 1
         self.bytes_sent += msg.size
+        if self.registry is not None and self.registry.enabled:
+            self.registry.inc(f"net.messages.{msg.tag}")
+            self.registry.inc(f"net.bytes.{msg.tag}", msg.size)
+            self.registry.inc(f"net.links.{self.network.link_class(msg.src, msg.dst)}")
         for hook in self._transmit_hooks:
             hook(msg)
         # Sender-side NIC serialization: concurrent sends from one rank

@@ -1,0 +1,218 @@
+"""Integration tests: the registry threaded through every layer.
+
+Covers the acceptance criterion: a TemperedLB run on the synthetic
+time-varying workload exports per-iteration accepted/rejected transfer
+counts and gossip message totals as JSON; without a registry, LB
+outputs are byte-identical to pre-change behavior.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Distribution, StatsRegistry, TemperedConfig, TemperedLB
+from repro.analysis.io import load_stats, save_stats, stats_to_csv
+from repro.core.gossip import GossipConfig, run_inform_stage
+from repro.core.transfer import transfer_stage
+from repro.obs import NullRegistry
+from repro.runtime import AMTRuntime, LBManager
+from repro.sim.engine import Engine
+from repro.sim.process import System
+from repro.workloads import MovingHotspot, paper_analysis_scenario
+
+
+class TestCoreStages:
+    def test_inform_stage_records_counters_and_series(self):
+        loads = np.ones(32)
+        loads[:4] = 10.0
+        reg = StatsRegistry()
+        result = run_inform_stage(
+            loads, GossipConfig(fanout=3, rounds=4), rng=0, registry=reg
+        )
+        assert reg.counter("gossip.stages") == 1
+        assert reg.counter("gossip.messages") == result.n_messages > 0
+        assert reg.counter("gossip.bytes") == result.bytes_sent
+        (row,) = reg.series_rows("gossip.stage")
+        assert row["underloaded"] == 28
+        assert row["coverage"] == pytest.approx(result.coverage())
+        assert row["max_known"] >= row["mean_known"] > 0
+
+    def test_inform_stage_records_even_when_balanced(self):
+        reg = StatsRegistry()
+        run_inform_stage(np.ones(8), rng=0, registry=reg)
+        assert reg.counter("gossip.stages") == 1
+        assert reg.counter("gossip.messages") == 0
+
+    def test_transfer_stage_counters_match_stats(self):
+        dist = paper_analysis_scenario(n_tasks=300, n_loaded_ranks=4, n_ranks=32, seed=1)
+        loads = dist.rank_loads()
+        rng = np.random.default_rng(2)
+        gossip = run_inform_stage(loads, GossipConfig(fanout=4, rounds=6), rng)
+        assignment = dist.assignment.copy()
+        reg = StatsRegistry()
+        stats = transfer_stage(assignment, dist.task_loads, gossip, rng=rng, registry=reg)
+        assert reg.counter("transfer.accepted") == stats.transfers > 0
+        assert reg.counter("transfer.rejected") == stats.rejections
+        assert reg.counter("transfer.proposed") == stats.proposed
+        assert reg.counter("transfer.cmf_builds") == stats.cmf_builds > 0
+        assert reg.counter("transfer.overloaded_ranks") == stats.overloaded_ranks
+
+    def test_refinement_series_matches_records(self):
+        dist = paper_analysis_scenario(n_tasks=300, n_loaded_ranks=4, n_ranks=32, seed=1)
+        reg = StatsRegistry()
+        lb = TemperedLB(n_trials=2, n_iters=3).instrument(reg)
+        result = lb.rebalance(dist, rng=np.random.default_rng(0))
+        rows = reg.series_rows("lb.iteration")
+        assert len(rows) == len(result.records) == 6
+        for row, rec in zip(rows, result.records):
+            assert (row["trial"], row["iteration"]) == (rec.trial, rec.iteration)
+            assert row["accepted"] == rec.transfers
+            assert row["rejected"] == rec.rejections
+            assert row["gossip_messages"] == rec.gossip_messages
+        assert reg.counter("gossip.messages") == sum(
+            r.gossip_messages for r in result.records
+        )
+        (refinement_event,) = reg.events_of("lb.refinement")
+        assert refinement_event.fields["best_imbalance"] == pytest.approx(
+            min(result.final_imbalance, result.initial_imbalance)
+        )
+        (rebalance_event,) = reg.events_of("lb.rebalance")
+        assert rebalance_event.fields["strategy"] == "TemperedLB"
+
+
+class TestAcceptanceCriterion:
+    """TemperedLB + time-varying workload -> JSON with per-iteration counts."""
+
+    def test_time_varying_run_exports_json(self, tmp_path):
+        hotspot = MovingHotspot(n_tasks=400, speed=0.02)
+        rng = np.random.default_rng(0)
+        assignment = rng.integers(0, 4, size=400)
+        reg = StatsRegistry()
+        lb = TemperedLB(n_trials=1, n_iters=3).instrument(reg)
+        for phase in range(3):
+            dist = Distribution(hotspot.loads(phase), assignment, 32)
+            assignment = lb.rebalance(dist, rng=rng).assignment
+
+        path = tmp_path / "stats.json"
+        save_stats(reg, path)
+        payload = load_stats(path)
+        rows = payload.series_rows("lb.iteration")
+        assert len(rows) == 9  # 3 phases x 1 trial x 3 iterations
+        for row in rows:
+            assert row["accepted"] >= 0 and row["rejected"] >= 0
+            assert row["accepted"] + row["rejected"] == row["proposed"]
+        assert payload.counter("gossip.messages") == sum(
+            row["gossip_messages"] for row in rows
+        )
+        assert payload.counter("transfer.accepted") == sum(
+            row["accepted"] for row in rows
+        )
+
+    def test_csv_export_is_flat_and_complete(self, tmp_path):
+        reg = StatsRegistry()
+        reg.inc("c", 2)
+        reg.gauge("g", 1.5)
+        reg.add_time("t", 0.25)
+        reg.observe("s", x=1)
+        reg.event("e", time=1.0, rank=2, value=3)
+        path = tmp_path / "stats.csv"
+        stats_to_csv(reg, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "kind,name,index,field,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "timer", "series", "event"}
+
+    def test_no_registry_is_byte_identical(self):
+        """Determinism contract vs. the pre-instrumentation behavior."""
+        dist = paper_analysis_scenario(n_tasks=250, n_loaded_ranks=4, n_ranks=32, seed=5)
+        a = TemperedLB(n_trials=2, n_iters=3).rebalance(dist, rng=np.random.default_rng(9))
+        b = TemperedLB(n_trials=2, n_iters=3).rebalance(dist, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+        assert a.assignment.tobytes() == b.assignment.tobytes()
+
+    def test_null_registry_records_nothing_through_stack(self):
+        dist = paper_analysis_scenario(n_tasks=200, n_loaded_ranks=4, n_ranks=32, seed=5)
+        null = NullRegistry()
+        TemperedLB(n_trials=1, n_iters=2).instrument(null).rebalance(
+            dist, rng=np.random.default_rng(0)
+        )
+        assert null.counters == {} and null.series == {} and null.events == []
+
+
+class TestSimLayer:
+    def test_engine_records_run_aggregates(self):
+        reg = StatsRegistry()
+        engine = Engine(registry=reg)
+        for i in range(5):
+            engine.schedule(0.1 * (i + 1), lambda: None)
+        engine.run(until=0.35)
+        assert reg.counter("engine.events") == 3
+        assert reg.gauges["engine.queue_depth"] == 2
+        assert reg.timers["engine.sim_time"] == pytest.approx(0.35)
+        engine.run()
+        assert reg.counter("engine.events") == 5
+        assert reg.counter("engine.runs") == 2
+        assert reg.gauges["engine.queue_depth"] == 0  # last write wins locally
+
+    def test_system_counts_messages_by_tag_and_link(self):
+        reg = StatsRegistry()
+        system = System(4, registry=reg)
+        received = []
+        for proc in system.processes:
+            proc.register("ping", lambda p, m: received.append(p.rank))
+        system.processes[0].send(1, "ping", size=100)  # same node (4 ranks/node)
+        system.processes[0].send(2, "ping", size=50)
+        system.run()
+        assert reg.counter("net.messages.ping") == 2
+        assert reg.counter("net.bytes.ping") == 150
+        assert reg.counter("net.links.intra") == 2
+        assert received == [1, 2]
+
+
+class TestRuntimeLayer:
+    def _runtime(self, registry=None):
+        rng = np.random.default_rng(0)
+        n_ranks, n_tasks = 8, 64
+        task_loads = rng.gamma(4.0, 0.002, size=n_tasks)
+        assignment = np.zeros(n_tasks, dtype=np.int64)
+        return AMTRuntime(
+            n_ranks, task_loads, assignment, task_overhead=1e-5, registry=registry
+        )
+
+    def test_lbmanager_records_episode_event(self):
+        reg = StatsRegistry()
+        runtime = self._runtime(registry=reg)
+        runtime.execute_phase()
+        config = TemperedConfig(n_trials=1, n_iters=2, fanout=3, rounds=4)
+        episode = LBManager(runtime, config, seed=1, registry=reg).run_episode()
+
+        (event,) = reg.events_of("lb.episode")
+        assert event.fields["initial_imbalance"] == pytest.approx(
+            episode.initial_imbalance
+        )
+        assert event.fields["final_imbalance"] == pytest.approx(episode.final_imbalance)
+        assert event.fields["n_migrations"] == episode.n_migrations
+        assert event.fields["gossip_messages"] == episode.gossip_messages > 0
+        if episode.migration is not None:
+            assert event.fields["migration_bytes"] == episode.migration.bytes_moved
+            assert reg.counter("episode.migration_bytes") > 0
+        assert reg.timers["episode.t_lb"] == pytest.approx(episode.t_lb)
+        rows = reg.series_rows("episode.iteration")
+        assert len(rows) == 2
+        assert reg.counter("episode.iterations") == 2
+        # The system-level registry saw the inform traffic by tag.
+        inform_msgs = sum(
+            v for k, v in reg.counters.items()
+            if k.startswith("net.messages.inform_")
+        )
+        assert inform_msgs == episode.gossip_messages
+
+    def test_lbmanager_without_registry_matches_instrumented_run(self):
+        results = []
+        for registry in (None, StatsRegistry()):
+            runtime = self._runtime()
+            runtime.execute_phase()
+            config = TemperedConfig(n_trials=1, n_iters=2, fanout=3, rounds=4)
+            episode = LBManager(runtime, config, seed=1, registry=registry).run_episode()
+            results.append(episode)
+        np.testing.assert_array_equal(results[0].assignment, results[1].assignment)
+        assert results[0].t_lb == results[1].t_lb

@@ -1,0 +1,109 @@
+"""Property-based (hypothesis) tests for the observability layer.
+
+Three contracts the instrumentation must honor:
+
+1. counters are non-negative under any sequence of valid operations;
+2. :meth:`StatsRegistry.merge` is associative (and commutative on the
+   scalar kinds), so per-rank registries can be reduced in any order;
+3. attaching a registry never changes LB output — instrumentation draws
+   no RNG, so seeded runs stay bit-identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GrapevineLB, StatsRegistry, TemperedLB
+from repro.workloads import paper_analysis_scenario
+
+names = st.sampled_from(["a", "b", "c.d", "gossip.messages"])
+increments = st.floats(min_value=0, max_value=1e9, allow_nan=False)
+ops = st.lists(st.tuples(names, increments), max_size=30)
+
+
+@given(ops=ops)
+def test_counters_stay_non_negative(ops):
+    reg = StatsRegistry()
+    for name, value in ops:
+        reg.inc(name, value)
+    assert all(v >= 0 for v in reg.counters.values())
+    total_in = sum(v for _, v in ops)
+    assert sum(reg.counters.values()) == pytest.approx(total_in, rel=1e-9, abs=1e-6)
+
+
+def _registry_from(ops, gauge_ops, time_ops):
+    reg = StatsRegistry()
+    for name, value in ops:
+        reg.inc(name, value)
+    for name, value in gauge_ops:
+        reg.gauge(name, value)
+    for name, value in time_ops:
+        reg.add_time(name, value)
+    return reg
+
+
+registry_inputs = st.tuples(
+    ops,
+    st.lists(st.tuples(names, st.floats(-1e6, 1e6, allow_nan=False)), max_size=10),
+    st.lists(st.tuples(names, st.floats(0, 1e6, allow_nan=False)), max_size=10),
+)
+
+
+def _scalars(reg):
+    return (reg.counters, reg.gauges, reg.timers)
+
+
+@given(a=registry_inputs, b=registry_inputs, c=registry_inputs)
+def test_merge_is_associative_across_ranks(a, b, c):
+    """(a + b) + c == a + (b + c) for the scalar aggregate kinds."""
+    left = _registry_from(*a).merge(_registry_from(*b).merge(_registry_from(*c)))
+    right = _registry_from(*a).merge(_registry_from(*b)).merge(_registry_from(*c))
+    for lhs, rhs in zip(_scalars(left), _scalars(right)):
+        assert set(lhs) == set(rhs)
+        for key in lhs:
+            np.testing.assert_allclose(lhs[key], rhs[key], rtol=1e-9, atol=1e-9)
+
+
+@given(a=registry_inputs, b=registry_inputs)
+def test_merge_is_commutative_on_scalars(a, b):
+    ab = _registry_from(*a).merge(_registry_from(*b))
+    ba = _registry_from(*b).merge(_registry_from(*a))
+    for lhs, rhs in zip(_scalars(ab), _scalars(ba)):
+        assert set(lhs) == set(rhs)
+        for key in lhs:
+            np.testing.assert_allclose(lhs[key], rhs[key], rtol=1e-9, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_instrumentation_never_changes_assignment(seed):
+    """The acceptance-criterion invariant: registry on == registry off."""
+    dist = paper_analysis_scenario(n_tasks=200, n_loaded_ranks=4, n_ranks=32, seed=seed)
+    bare = TemperedLB(n_trials=2, n_iters=3).rebalance(
+        dist, rng=np.random.default_rng(seed)
+    )
+    registry = StatsRegistry()
+    instrumented = (
+        TemperedLB(n_trials=2, n_iters=3)
+        .instrument(registry)
+        .rebalance(dist, rng=np.random.default_rng(seed))
+    )
+    np.testing.assert_array_equal(bare.assignment, instrumented.assignment)
+    assert bare.final_imbalance == instrumented.final_imbalance
+    # ... and the registry actually observed the run.
+    assert registry.counter("lb.iterations") == 6
+    assert registry.counter("gossip.stages") == 6
+
+
+@settings(deadline=None, max_examples=4)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_instrumentation_neutral_for_grapevine(seed):
+    dist = paper_analysis_scenario(n_tasks=150, n_loaded_ranks=3, n_ranks=24, seed=seed)
+    bare = GrapevineLB(n_iters=2).rebalance(dist, rng=np.random.default_rng(seed))
+    instrumented = (
+        GrapevineLB(n_iters=2)
+        .instrument(StatsRegistry())
+        .rebalance(dist, rng=np.random.default_rng(seed))
+    )
+    np.testing.assert_array_equal(bare.assignment, instrumented.assignment)

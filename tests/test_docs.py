@@ -75,7 +75,10 @@ class TestDesign:
 
 
 class TestDocsDir:
-    @pytest.mark.parametrize("name", ["algorithms.md", "simulation.md", "reproducing.md", "api.md"])
+    @pytest.mark.parametrize(
+        "name",
+        ["algorithms.md", "simulation.md", "reproducing.md", "api.md", "observability.md"],
+    )
     def test_docs_exist_and_substantial(self, name):
         text = read(f"docs/{name}")
         assert len(text) > 1500
