@@ -1,0 +1,25 @@
+"""Hot-path microbenchmarks — the repo's perf trajectory artifact.
+
+Runs the same harness as ``repro bench`` (quick scale, so it fits the
+benchmark suite's budget), prints the report and persists it to
+``benchmarks/results/perf_hot_paths.txt``. The headline number is the
+transfer-stage speedup of incremental CMF maintenance over the
+pre-optimization full-rebuild path; the acceptance floor at the § V
+analysis scale (``repro bench`` without ``--quick``) is 3x.
+"""
+
+from repro.perf import format_report, run_benchmarks
+
+
+def run_hot_paths():
+    return run_benchmarks(quick=True, repeats=3, seed=0)
+
+
+def test_perf_hot_paths(benchmark, artifact):
+    payload = benchmark.pedantic(run_hot_paths, rounds=1, iterations=1)
+    artifact("perf_hot_paths", format_report(payload))
+    # Informational floor: even at quick scale the fast path should beat
+    # the full-rebuild reference clearly; the 3x acceptance bar applies
+    # to the full § V scale where rebuilds are 8x larger.
+    assert payload["speedups"]["transfer_incremental_vs_rebuild"] > 1.5
+    assert payload["equivalent_transfers"]

@@ -15,6 +15,10 @@ Commands
     Run an instrumented balancer over a time-varying workload and
     summarize the telemetry registry (counters, per-iteration series),
     or summarize a previously exported stats JSON.
+``bench``
+    Time the inform/transfer/refinement/empire hot paths and write
+    ``BENCH_perf.json`` (the repo's perf trajectory; see
+    ``docs/performance.md``).
 ``version``
     Print the package version.
 
@@ -104,6 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", type=str, default=None)
     p.add_argument("--csv", type=str, default=None)
 
+    p = sub.add_parser("bench", help="hot-path microbenchmarks -> BENCH_perf.json")
+    p.add_argument(
+        "--quick", action="store_true", help="CI-smoke scale instead of the § V scale"
+    )
+    p.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json",
+        type=str,
+        default="BENCH_perf.json",
+        help="output path (default BENCH_perf.json; '-' to skip writing)",
+    )
+
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -114,6 +131,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "analyze": _cmd_analyze,
         "amr": _cmd_amr,
+        "bench": _cmd_bench,
         "empire": _cmd_empire,
         "protocols": _cmd_protocols,
         "stats": _cmd_stats,
@@ -338,6 +356,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         save_stats(registry, args.json)
     if args.csv:
         stats_to_csv(registry, args.csv)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.io import save_json
+    from repro.perf import format_report, run_benchmarks
+
+    payload = run_benchmarks(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    print(format_report(payload))
+    if args.json and args.json != "-":
+        save_json(payload, args.json)
+        print(f"\n[saved to {args.json}]")
     return 0
 
 

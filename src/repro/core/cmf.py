@@ -18,6 +18,17 @@ A rank's probability mass is proportional to its *known* load headroom
 TemperedLB additionally *recomputes* the CMF after every accepted
 transfer (Alg. 2 l.7) so the updated knowledge steers later picks; the
 original computes it once (l.5).
+
+Recomputing by calling :func:`build_cmf` from scratch costs O(n) per
+accepted transfer, which makes Algorithm 2 O(tasks x known_ranks) per
+rank per iteration and dominates wall-time at the paper's § V analysis
+scale. :class:`IncrementalCMF` maintains the same distribution under
+single-recipient load updates in O(log n) via a Fenwick (binary
+indexed) tree over the headroom masses, falling back to a full rebuild
+only when the scaling factor ``l_s`` itself changes. Its contract with
+:func:`build_cmf` is exact: the mass vector, the ``None``/exhausted
+condition and the materialized prefix sums are identical
+(``tests/core/test_cmf_incremental.py`` proves this property-style).
 """
 
 from __future__ import annotations
@@ -26,10 +37,26 @@ import numpy as np
 
 from repro.util.validation import check_in
 
-__all__ = ["CMF_ORIGINAL", "CMF_MODIFIED", "build_cmf", "sample_cmf"]
+__all__ = [
+    "CMF_ORIGINAL",
+    "CMF_MODIFIED",
+    "CMF_UPDATE_INCREMENTAL",
+    "CMF_UPDATE_REBUILD",
+    "CMF_UPDATES",
+    "IncrementalCMF",
+    "build_cmf",
+    "sample_cmf",
+]
 
 CMF_ORIGINAL = "original"
 CMF_MODIFIED = "modified"
+
+#: CMF maintenance strategies for the transfer stage's recomputation
+#: (Alg. 2 l.7): ``incremental`` is the O(log n) fast path, ``rebuild``
+#: the pre-optimization full :func:`build_cmf` per accepted transfer.
+CMF_UPDATE_INCREMENTAL = "incremental"
+CMF_UPDATE_REBUILD = "rebuild"
+CMF_UPDATES = (CMF_UPDATE_INCREMENTAL, CMF_UPDATE_REBUILD)
 
 
 def build_cmf(
@@ -78,3 +105,205 @@ def sample_cmf(cmf: np.ndarray, rng: np.random.Generator) -> int:
     """Sample a candidate index from a CMF built by :func:`build_cmf`."""
     u = rng.random()
     return int(np.searchsorted(cmf, u, side="right"))
+
+
+# -- incremental maintenance (the Alg. 2 l.7 fast path) --------------------
+
+
+def _fenwick_build(values: np.ndarray) -> list[float]:
+    """Fenwick tree over ``values`` (1-indexed partial sums), built O(n).
+
+    Node ``i`` holds ``sum(values[i - lowbit(i):i])``, computed as a
+    vectorized difference of cumulative sums. Kept as a Python list:
+    the point updates and descent are scalar-indexing hot paths, where
+    list access beats ndarray item access.
+    """
+    n = values.size
+    if n == 0:
+        return [0.0]
+    prefix = np.cumsum(values)
+    idx = np.arange(1, n + 1)
+    low = idx - (idx & -idx)
+    nodes = prefix[idx - 1] - np.where(low > 0, prefix[low - 1], 0.0)
+    tree = nodes.tolist()
+    tree.insert(0, 0.0)
+    return tree
+
+
+def _fenwick_add(tree: list[float], index: int, delta: float) -> None:
+    """Add ``delta`` to 0-based ``index``."""
+    n = len(tree) - 1
+    i = index + 1
+    while i <= n:
+        tree[i] += delta
+        i += i & -i
+
+
+def _fenwick_search(tree: list[float], target: float) -> int:
+    """Smallest 0-based ``i`` whose inclusive prefix sum exceeds ``target``.
+
+    Mirrors ``searchsorted(cumsum, target, side="right")`` over the
+    unnormalized masses.
+    """
+    n = len(tree) - 1
+    idx = 0
+    bit = 1 << (n.bit_length() - 1) if n else 0
+    remaining = target
+    while bit:
+        nxt = idx + bit
+        if nxt <= n and tree[nxt] <= remaining:
+            idx = nxt
+            remaining -= tree[nxt]
+        bit >>= 1
+    return idx
+
+
+class IncrementalCMF:
+    """The BUILDCMF distribution under incremental load updates.
+
+    Maintains, for a fixed candidate list, the same headroom masses
+    :func:`build_cmf` computes — exactly, element for element — while
+    supporting O(log n) single-candidate updates and draws:
+
+    - ``update(idx, new_load)`` adjusts one candidate's known load (the
+      effect of one accepted transfer or one nack correction). Only the
+      touched mass and the Fenwick tree path change; a full O(n) rebuild
+      happens only when ``l_s = max(l_ave, max LOAD^p)`` itself moves
+      (a new running maximum, or the old maximum shrinking).
+    - ``sample(rng)`` draws a candidate with probability proportional to
+      its mass, consuming exactly one uniform — the same RNG cost as
+      :func:`sample_cmf` — via Fenwick descent on ``u * total``.
+    - ``exhausted`` is True exactly when :func:`build_cmf` would return
+      ``None`` for the current loads (no candidate with positive mass).
+    - ``materialize()`` returns the prefix array :func:`build_cmf` would
+      build, bit-identically (it reruns the same normalized cumsum over
+      the identically-maintained masses).
+
+    ``builds`` counts full (re)builds and ``updates`` point updates, so
+    the transfer stage can report both costs.
+    """
+
+    __slots__ = (
+        "loads",
+        "l_ave",
+        "variant",
+        "l_s",
+        "masses",
+        "total",
+        "n_positive",
+        "builds",
+        "updates",
+        "_tree",
+        "_max_load",
+    )
+
+    def __init__(
+        self,
+        known_loads: np.ndarray,
+        l_ave: float,
+        variant: str = CMF_MODIFIED,
+        copy: bool = True,
+    ) -> None:
+        check_in("cmf", variant, (CMF_ORIGINAL, CMF_MODIFIED))
+        self.loads = np.array(known_loads, dtype=np.float64, copy=copy)
+        self.l_ave = float(l_ave)
+        self.variant = variant
+        self.builds = 0
+        self.updates = 0
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute masses/total/tree from scratch — build_cmf's O(n)."""
+        self.builds += 1
+        loads = self.loads
+        if loads.size == 0:
+            self._max_load = 0.0
+            self.l_s = 0.0
+            self.masses = np.zeros(0, dtype=np.float64)
+            self.total = 0.0
+            self.n_positive = 0
+            self._tree = None
+            return
+        self._max_load = float(loads.max())
+        if self.variant == CMF_ORIGINAL:
+            self.l_s = self.l_ave
+        else:
+            self.l_s = max(self.l_ave, self._max_load)
+        if self.l_s <= 0.0:
+            self.masses = np.zeros_like(loads)
+            self.total = 0.0
+            self.n_positive = 0
+            self._tree = None
+            return
+        # The exact expression build_cmf uses, so masses match bitwise.
+        self.masses = np.clip(1.0 - loads / self.l_s, 0.0, None)
+        self.total = float(self.masses.sum())
+        self.n_positive = int(np.count_nonzero(self.masses))
+        self._tree = _fenwick_build(self.masses)
+
+    @property
+    def exhausted(self) -> bool:
+        """True exactly when :func:`build_cmf` would return ``None``."""
+        return self.loads.size == 0 or self.l_s <= 0.0 or self.n_positive == 0
+
+    def update(self, idx: int, new_load: float) -> None:
+        """Set candidate ``idx``'s known load, maintaining the masses.
+
+        O(log n) unless ``l_s`` changes (then a full rebuild runs).
+        """
+        self.updates += 1
+        loads = self.loads
+        old_load = float(loads[idx])
+        new_load = float(new_load)
+        loads[idx] = new_load
+        if self.variant == CMF_MODIFIED:
+            if new_load > self._max_load:
+                self._max_load = new_load
+                if new_load > self.l_s:
+                    self._rebuild()
+                    return
+            elif old_load == self._max_load and new_load < old_load:
+                fresh_max = float(loads.max())
+                self._max_load = fresh_max
+                if max(self.l_ave, fresh_max) != self.l_s:
+                    self._rebuild()
+                    return
+        if self.l_s <= 0.0 or self._tree is None:
+            return  # degenerate distribution: every mass pinned at zero
+        old_mass = float(self.masses[idx])
+        headroom = 1.0 - new_load / self.l_s
+        new_mass = headroom if headroom > 0.0 else 0.0
+        if new_mass == old_mass:
+            return
+        self.masses[idx] = new_mass
+        if old_mass == 0.0:
+            self.n_positive += 1
+        elif new_mass == 0.0:
+            self.n_positive -= 1
+        delta = new_mass - old_mass
+        self.total += delta
+        _fenwick_add(self._tree, int(idx), delta)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a candidate index; one uniform, like :func:`sample_cmf`."""
+        if self.exhausted:
+            raise ValueError("cannot sample an exhausted CMF")
+        u = rng.random()
+        target = u * self.total
+        idx = _fenwick_search(self._tree, target)
+        if idx >= self.masses.size or self.masses[idx] <= 0.0:
+            # Accumulated float drift in the tree/total pushed the draw
+            # past the last positive mass; resolve against exact sums.
+            cmf = np.cumsum(self.masses)
+            idx = int(np.searchsorted(cmf, target, side="right"))
+            idx = min(idx, self.masses.size - 1)
+        return int(idx)
+
+    def materialize(self) -> np.ndarray | None:
+        """The prefix array :func:`build_cmf` would return right now."""
+        if self.exhausted:
+            return None
+        z = self.masses.sum()
+        cmf = np.cumsum(self.masses / z)
+        cmf[-1] = 1.0
+        return cmf

@@ -235,6 +235,25 @@ def _record_send(
             result.inter_node_messages += 1
 
 
+def _record_sends(
+    result: GossipResult,
+    payload_entries: int,
+    sender: int,
+    targets: np.ndarray,
+    config: GossipConfig,
+) -> None:
+    """Account one sender's whole fan-out (same payload to each target)."""
+    n = int(targets.size)
+    result.n_messages += n
+    result.bytes_sent += n * (HEADER_BYTES + ENTRY_BYTES * payload_entries)
+    result.per_round_messages[-1] += n
+    result.inter_node_messages += int(
+        np.count_nonzero(
+            targets // config.ranks_per_node != sender // config.ranks_per_node
+        )
+    )
+
+
 def _trim_knowledge(
     row: np.ndarray,
     loads: np.ndarray,
@@ -287,11 +306,22 @@ def _run_coalesced(
                 )
             targets = _sample_targets(rng, candidates, config.fanout, int(sender), config)
             entries = int(row.sum())
-            for target in targets:
-                know.merge(int(target), row)
-                _trim_knowledge(know.rows[target], result.load_snapshot, config, rng)
-                received[target] = True
-                _record_send(result, entries, int(sender), int(target), config)
+            if config.max_known is None:
+                # Whole fan-out at once: the payload row is fixed, the
+                # targets are distinct and no trim draws RNG, so this is
+                # exactly the sequential per-target merge.
+                if targets.size:
+                    know.merge_many(targets, row)
+                    received[targets] = True
+                    _record_sends(result, entries, int(sender), targets, config)
+            else:
+                # Trimming consumes RNG per merge and must interleave
+                # with the merges in message order — stay sequential.
+                for target in targets:
+                    know.merge(int(target), row)
+                    _trim_knowledge(know.rows[target], result.load_snapshot, config, rng)
+                    received[target] = True
+                    _record_send(result, entries, int(sender), int(target), config)
         initiating = False
         senders = np.flatnonzero(received)
         if senders.size == 0:

@@ -112,6 +112,11 @@ class HierLB(LoadBalancer):
                 return
             dst_ranks = groups[receiver]
             dst = int(dst_ranks[int(np.argmin(loads[dst_ranks]))])
+            # Never create a new span-wide maximum: such a move worsens
+            # the subtree's (and possibly the global) peak load, breaking
+            # the balancer's never-worse guarantee.
+            if loads[dst] + t_load > float(loads[span].max()):
+                return
             rank_tasks[src].remove(task)
             rank_tasks[dst].append(task)
             assignment[task] = dst

@@ -43,6 +43,12 @@ class KnowledgeBitmap:
         """Merge a received knowledge row into ``S^dst`` (Alg. 1 l.16-17)."""
         np.logical_or(self.rows[dst], src_row, out=self.rows[dst])
 
+    def merge_many(self, dsts: np.ndarray, src_row: np.ndarray) -> None:
+        """Merge one row into several destinations — a whole fan-out at
+        once. OR is idempotent and the row is fixed, so this equals
+        :meth:`merge` applied to each destination in turn."""
+        self.rows[dsts] |= src_row
+
     def known(self, rank: int) -> np.ndarray:
         """``S^rank`` as a sorted array of rank ids."""
         return np.flatnonzero(self.rows[rank])

@@ -7,10 +7,21 @@ trials wins, and only that proposal's transfers are actually executed
 (deferred migration, Alg. 3 l.13). Trials restart from the previous
 timestep's state so a bad random walk cannot trap the result in a local
 minimum (§ V-A).
+
+Trials are independent, so they can run concurrently. With
+``n_workers`` set, each trial draws from its own spawned RNG stream
+(:func:`repro.util.parallel.spawn_streams`) and records into its own
+sub-registry; streams are derived from the parent generator before any
+work starts and sub-registries merge in trial order, so the refined
+assignment and all recorded statistics are bit-identical for any worker
+count >= 1. ``n_workers=None`` (the default) keeps the historical
+serial semantics: one shared RNG stream consumed trial after trial.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +32,7 @@ from repro.core.gossip import GossipConfig, run_inform_stage
 from repro.core.metrics import imbalance
 from repro.core.transfer import TransferConfig, transfer_stage
 from repro.obs import StatsRegistry
+from repro.util.parallel import spawn_streams
 from repro.util.validation import check_positive, coerce_rng
 
 __all__ = ["RefinementResult", "iterative_refinement"]
@@ -42,6 +54,88 @@ class RefinementResult:
         return [r for r in self.records if r.trial == trial]
 
 
+@dataclass
+class _TrialOutcome:
+    """One trial's iteration rows and trial-local best proposal."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+    best_imbalance: float = float("inf")
+    best_assignment: np.ndarray | None = None
+    gossip_messages: int = 0
+    gossip_bytes: int = 0
+
+
+def _run_trial(
+    trial: int,
+    dist: Distribution,
+    original: np.ndarray,
+    l_ave: float,
+    n_iters: int,
+    gossip: GossipConfig,
+    transfer: TransferConfig,
+    rng: np.random.Generator,
+    registry: StatsRegistry | None,
+) -> _TrialOutcome:
+    """Run one trial (Alg. 3 l.3-12) against a private working copy.
+
+    Thread-safe given a private ``rng`` and ``registry``: the shared
+    inputs (``dist``, ``original``, configs) are only read.
+    """
+    instrumented = registry is not None and registry.enabled
+    working = np.array(original, copy=True)  # Alg. 3 l.3: reset per trial
+    out = _TrialOutcome()
+    for iteration in range(1, int(n_iters) + 1):
+        loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
+        if instrumented:
+            with registry.timed("wall.inform", time.perf_counter):
+                inform = run_inform_stage(
+                    loads, gossip, rng, average_load=l_ave, registry=registry
+                )
+            with registry.timed("wall.transfer", time.perf_counter):
+                stats = transfer_stage(
+                    working, dist.task_loads, inform, transfer, rng, registry=registry
+                )
+        else:
+            inform = run_inform_stage(loads, gossip, rng, average_load=l_ave)
+            stats = transfer_stage(working, dist.task_loads, inform, transfer, rng)
+        loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
+        proposal_imbalance = imbalance(loads)
+        out.records.append(
+            IterationRecord(
+                trial=trial,
+                iteration=iteration,
+                transfers=stats.transfers,
+                rejections=stats.rejections,
+                imbalance=proposal_imbalance,
+                gossip_messages=inform.n_messages,
+                gossip_bytes=inform.bytes_sent,
+            )
+        )
+        out.gossip_messages += inform.n_messages
+        out.gossip_bytes += inform.bytes_sent
+        if instrumented:
+            registry.inc("lb.iterations")
+            registry.observe(
+                "lb.iteration",
+                trial=trial,
+                iteration=iteration,
+                proposed=stats.proposed,
+                accepted=stats.transfers,
+                rejected=stats.rejections,
+                nacked=stats.nacked,
+                rejection_rate=stats.rejection_rate,
+                cmf_builds=stats.cmf_builds,
+                cmf_updates=stats.cmf_updates,
+                imbalance=proposal_imbalance,
+                gossip_messages=inform.n_messages,
+                gossip_bytes=inform.bytes_sent,
+            )
+        if proposal_imbalance < out.best_imbalance:
+            out.best_imbalance = proposal_imbalance
+            out.best_assignment = np.array(working, copy=True)
+    return out
+
+
 def iterative_refinement(
     dist: Distribution,
     n_trials: int = 1,
@@ -50,6 +144,7 @@ def iterative_refinement(
     transfer: TransferConfig | None = None,
     rng: np.random.Generator | int | None = None,
     registry: StatsRegistry | None = None,
+    n_workers: int | None = None,
 ) -> RefinementResult:
     """Run Algorithm 3 and return the best proposal.
 
@@ -59,9 +154,17 @@ def iterative_refinement(
 
     With a ``registry`` attached, every (trial, iteration) appends one
     row to the ``lb.iteration`` series — the programmatic form of the
-    paper's § V-B/§ V-D tables — and the inform/transfer stages record
-    their own counters. Instrumentation draws no RNG, so the refined
-    assignment is identical with or without it.
+    paper's § V-B/§ V-D tables — the inform/transfer stages record
+    their own counters, and the stages' wall time accumulates into the
+    ``wall.inform`` / ``wall.transfer`` / ``wall.refinement`` timers.
+    Instrumentation draws no RNG, so the refined assignment is identical
+    with or without it.
+
+    ``n_workers`` selects the execution model: ``None`` keeps the
+    historical serial semantics (one RNG stream shared across trials);
+    an integer >= 1 runs trials on that many threads with per-trial
+    spawned streams — results are then bit-identical for every worker
+    count, but differ from the shared-stream serial walk.
     """
     check_positive("n_trials", n_trials)
     check_positive("n_iters", n_iters)
@@ -73,59 +176,62 @@ def iterative_refinement(
     original = dist.assignment
     best_assignment = np.array(original, copy=True)
     initial = dist.imbalance()
-    best_imbalance = initial
     result = RefinementResult(
         best_assignment=best_assignment,
-        best_imbalance=best_imbalance,
+        best_imbalance=initial,
         initial_imbalance=initial,
     )
 
     instrumented = registry is not None and registry.enabled
-    for trial in range(1, int(n_trials) + 1):
-        working = np.array(original, copy=True)  # Alg. 3 l.3: reset per trial
-        for iteration in range(1, int(n_iters) + 1):
-            loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
-            inform = run_inform_stage(
-                loads, gossip, rng, average_load=l_ave, registry=registry
+    wall_start = time.perf_counter()
+    if n_workers is None:
+        outcomes = [
+            _run_trial(
+                trial, dist, original, l_ave, n_iters, gossip, transfer, rng, registry
             )
-            stats = transfer_stage(
-                working, dist.task_loads, inform, transfer, rng, registry=registry
-            )
-            loads = np.bincount(working, weights=dist.task_loads, minlength=dist.n_ranks)
-            proposal_imbalance = imbalance(loads)
-            result.records.append(
-                IterationRecord(
-                    trial=trial,
-                    iteration=iteration,
-                    transfers=stats.transfers,
-                    rejections=stats.rejections,
-                    imbalance=proposal_imbalance,
-                    gossip_messages=inform.n_messages,
-                    gossip_bytes=inform.bytes_sent,
+            for trial in range(1, int(n_trials) + 1)
+        ]
+    else:
+        check_positive("n_workers", n_workers)
+        streams = spawn_streams(rng, int(n_trials))
+        sub_registries: list[StatsRegistry | None] = [
+            StatsRegistry() if instrumented else None for _ in range(int(n_trials))
+        ]
+        with ThreadPoolExecutor(
+            max_workers=min(int(n_workers), int(n_trials))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_trial,
+                    trial + 1,
+                    dist,
+                    original,
+                    l_ave,
+                    n_iters,
+                    gossip,
+                    transfer,
+                    streams[trial],
+                    sub_registries[trial],
                 )
-            )
-            result.total_gossip_messages += inform.n_messages
-            result.total_gossip_bytes += inform.bytes_sent
-            if instrumented:
-                registry.inc("lb.iterations")
-                registry.observe(
-                    "lb.iteration",
-                    trial=trial,
-                    iteration=iteration,
-                    proposed=stats.proposed,
-                    accepted=stats.transfers,
-                    rejected=stats.rejections,
-                    nacked=stats.nacked,
-                    rejection_rate=stats.rejection_rate,
-                    cmf_builds=stats.cmf_builds,
-                    imbalance=proposal_imbalance,
-                    gossip_messages=inform.n_messages,
-                    gossip_bytes=inform.bytes_sent,
-                )
-            if proposal_imbalance < result.best_imbalance:
-                result.best_imbalance = proposal_imbalance
-                result.best_assignment = np.array(working, copy=True)
+                for trial in range(int(n_trials))
+            ]
+            outcomes = [f.result() for f in futures]
+        if instrumented:
+            # Merge in trial order regardless of completion order, so
+            # recorded series are identical for any worker count.
+            for sub in sub_registries:
+                registry.merge(sub)  # type: ignore[arg-type]
+
+    for out in outcomes:
+        result.records.extend(out.records)
+        result.total_gossip_messages += out.gossip_messages
+        result.total_gossip_bytes += out.gossip_bytes
+        if out.best_assignment is not None and out.best_imbalance < result.best_imbalance:
+            result.best_imbalance = out.best_imbalance
+            result.best_assignment = out.best_assignment
+
     if instrumented:
+        registry.add_time("wall.refinement", time.perf_counter() - wall_start)
         registry.inc("lb.refinements")
         registry.event(
             "lb.refinement",

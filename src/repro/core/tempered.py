@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import LBResult, LoadBalancer
-from repro.core.cmf import CMF_MODIFIED
+from repro.core.cmf import CMF_MODIFIED, CMF_UPDATE_INCREMENTAL
 from repro.core.criteria import CRITERION_RELAXED
 from repro.core.distribution import Distribution
 from repro.core.gossip import GossipConfig
@@ -53,6 +53,7 @@ class TemperedConfig:
     criterion: str = CRITERION_RELAXED
     cmf: str = CMF_MODIFIED
     recompute_cmf: bool = True
+    cmf_update: str = CMF_UPDATE_INCREMENTAL  #: l.7 maintenance (see cmf.py)
     ordering: str = ORDER_FEWEST_MIGRATIONS
     gossip_mode: str = "coalesced"
     view: str = "snapshot"  #: transfer-stage load visibility (see transfer.py)
@@ -60,6 +61,10 @@ class TemperedConfig:
     cascade: bool = False  #: re-process ranks overloaded mid-stage
     nacks: bool = False  #: recipient-side vetoes (Menon's mechanism, § V-A)
     max_known: int | None = None  #: knowledge cap (limited-info gossip)
+    #: Trial-level parallelism: None = historical serial semantics (one
+    #: shared RNG stream); >= 1 = that many worker threads with spawned
+    #: per-trial streams (bit-identical for any worker count >= 1).
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         check_positive("n_trials", self.n_trials)
@@ -84,6 +89,7 @@ class TemperedConfig:
             criterion=self.criterion,
             cmf=self.cmf,
             recompute_cmf=self.recompute_cmf,
+            cmf_update=self.cmf_update,
             ordering=self.ordering,
             threshold=self.threshold,
             view=self.view,
@@ -133,6 +139,7 @@ class TemperedLB(LoadBalancer):
             transfer=self.config.transfer_config(),
             rng=rng,
             registry=self.registry,
+            n_workers=self.config.n_workers,
         )
         return self._make_result(
             dist,

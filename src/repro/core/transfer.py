@@ -35,7 +35,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cmf import CMF_MODIFIED, CMF_ORIGINAL, build_cmf, sample_cmf
+from repro.core.cmf import (
+    CMF_MODIFIED,
+    CMF_ORIGINAL,
+    CMF_UPDATE_INCREMENTAL,
+    CMF_UPDATE_REBUILD,
+    CMF_UPDATES,
+    IncrementalCMF,
+    build_cmf,
+    sample_cmf,
+)
 from repro.core.criteria import CRITERIA, CRITERION_RELAXED
 from repro.core.gossip import GossipResult
 from repro.core.ordering import ORDER_ARBITRARY, ORDERINGS, order_tasks
@@ -58,6 +67,10 @@ class TransferConfig:
     criterion: str = CRITERION_RELAXED  #: "original" (l.35) or "relaxed" (l.37)
     cmf: str = CMF_MODIFIED  #: "original" (l.23) or "modified" (l.25)
     recompute_cmf: bool = True  #: rebuild F per candidate (l.7) vs once (l.5)
+    #: How l.7's recomputation is maintained: "incremental" (O(log n)
+    #: Fenwick updates, the fast path) or "rebuild" (full BUILDCMF per
+    #: accepted transfer, the pre-optimization reference).
+    cmf_update: str = CMF_UPDATE_INCREMENTAL
     ordering: str = ORDER_ARBITRARY  #: § V-E traversal order
     threshold: float = 1.0  #: h — relative imbalance threshold
     view: str = VIEW_SNAPSHOT  #: "snapshot" (distributed) or "shared" (LBAF)
@@ -68,6 +81,7 @@ class TransferConfig:
     def __post_init__(self) -> None:
         check_in("criterion", self.criterion, CRITERIA)
         check_in("cmf", self.cmf, (CMF_ORIGINAL, CMF_MODIFIED))
+        check_in("cmf_update", self.cmf_update, CMF_UPDATES)
         check_in("ordering", self.ordering, ORDERINGS)
         check_positive("threshold", self.threshold)
         check_in("view", self.view, (VIEW_SNAPSHOT, VIEW_SHARED))
@@ -91,7 +105,8 @@ class TransferStats:
     overloaded_ranks: int = 0
     stalled_ranks: int = 0
     rank_processings: int = 0
-    cmf_builds: int = 0  #: BUILDCMF invocations (l.5 vs l.7 cost)
+    cmf_builds: int = 0  #: full BUILDCMF invocations (l.5 vs l.7 cost)
+    cmf_updates: int = 0  #: O(log n) incremental mass updates (fast path)
     budget_exhausted: bool = False
     moves: list[tuple[int, int, int]] = field(default_factory=list)  #: (task, src, dst)
 
@@ -115,6 +130,7 @@ class TransferStats:
         self.stalled_ranks += other.stalled_ranks
         self.rank_processings += other.rank_processings
         self.cmf_builds += other.cmf_builds
+        self.cmf_updates += other.cmf_updates
         self.budget_exhausted |= other.budget_exhausted
         self.moves.extend(other.moves)
 
@@ -126,8 +142,62 @@ class TransferStats:
         registry.inc(f"{prefix}.rejected", self.rejections)
         registry.inc(f"{prefix}.nacked", self.nacked)
         registry.inc(f"{prefix}.cmf_builds", self.cmf_builds)
+        registry.inc(f"{prefix}.cmf_updates", self.cmf_updates)
         registry.inc(f"{prefix}.overloaded_ranks", self.overloaded_ranks)
         registry.inc(f"{prefix}.stalled_ranks", self.stalled_ranks)
+
+
+def _rank_task_lists(assignment: np.ndarray, n_ranks: int) -> list[list[int]]:
+    """Per-rank task lists (ascending task id) from an assignment.
+
+    One stable argsort + boundary search instead of a Python loop over
+    every task; the stable sort preserves ascending task ids within each
+    rank, so the lists are identical to the naive construction.
+    """
+    assignment = np.asarray(assignment)
+    by_rank = np.argsort(assignment, kind="stable")
+    bounds = np.searchsorted(assignment[by_rank], np.arange(n_ranks + 1))
+    ordered = by_rank.tolist()
+    return [ordered[bounds[r] : bounds[r + 1]] for r in range(n_ranks)]
+
+
+class _RebuildCMF:
+    """Pre-optimization recipient sampler: full BUILDCMF per refresh.
+
+    Shares a duck interface with :class:`IncrementalCMF` (``exhausted``,
+    ``sample``, ``update``, ``builds``/``updates`` counters) so the
+    transfer loop is agnostic to the maintenance strategy. ``poke`` sets
+    a known load *without* refreshing the distribution — the bookkeeping
+    path when ``recompute_cmf`` is off (Alg. 2 l.5 semantics).
+    """
+
+    __slots__ = ("loads", "l_ave", "variant", "cmf", "builds", "updates")
+
+    def __init__(self, known_loads: np.ndarray, l_ave: float, variant: str) -> None:
+        self.loads = known_loads
+        self.l_ave = l_ave
+        self.variant = variant
+        self.builds = 0
+        self.updates = 0
+        self._build()
+
+    def _build(self) -> None:
+        self.cmf = build_cmf(self.loads, self.l_ave, self.variant)
+        self.builds += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cmf is None
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return sample_cmf(self.cmf, rng)
+
+    def update(self, idx: int, new_load: float) -> None:
+        self.loads[idx] = new_load
+        self._build()
+
+    def poke(self, idx: int, new_load: float) -> None:
+        self.loads[idx] = new_load
 
 
 def transfer_stage(
@@ -178,9 +248,7 @@ def transfer_stage(
 
     # Mutable per-rank task lists. Senders only consult their own list;
     # recipient lists are maintained so cascaded processing sees arrivals.
-    rank_tasks: list[list[int]] = [[] for _ in range(n_ranks)]
-    for task, rank in enumerate(assignment):
-        rank_tasks[rank].append(task)
+    rank_tasks = _rank_task_lists(assignment, n_ranks)
 
     queue: deque[int] = deque(int(p) for p in overloaded)
     queued = set(queue)
@@ -232,9 +300,7 @@ def transfer_from_rank(
         return stats
     stats.overloaded_ranks = 1
     stats.rank_processings = 1
-    rank_tasks: list[list[int]] = [[] for _ in range(n_ranks)]
-    for task, rank in enumerate(assignment):
-        rank_tasks[rank].append(task)
+    rank_tasks = _rank_task_lists(assignment, n_ranks)
     _transfer_from_rank(
         int(p),
         rank_tasks,
@@ -276,11 +342,19 @@ def _transfer_from_rank(
 
     shared = config.view == VIEW_SHARED
     if shared:
-        # Live view: re-read global proposed loads on every use.
+        # Live view: per-use loads are re-read from the global proposed
+        # loads; the sampler's gather is point-updated on each accept
+        # (only the recipient's entry can change between refreshes).
         known_loads = loads[candidates]
     else:
         # Local view: inform-time snapshot + this sender's own transfers.
         known_loads = gossip.load_snapshot[candidates].copy()
+
+    if config.recompute_cmf and config.cmf_update == CMF_UPDATE_INCREMENTAL:
+        sampler = IncrementalCMF(known_loads, l_ave, config.cmf, copy=False)
+    else:
+        sampler = _RebuildCMF(known_loads, l_ave, config.cmf)
+    known_loads = sampler.loads  # single source of truth for l_x reads
 
     criterion = CRITERIA[config.criterion]
     threshold_load = config.threshold * l_ave
@@ -288,22 +362,21 @@ def _transfer_from_rank(
     touched: set[int] = set()
 
     max_passes = config.max_passes if config.max_passes is not None else _PASS_CAP
-    cmf = build_cmf(known_loads, l_ave, config.cmf)
-    stats.cmf_builds += 1
     for _ in range(max_passes):
         if loads[p] <= threshold_load or not tasks:
             break
         order = order_tasks(
             config.ordering, np.asarray(tasks, dtype=np.int64), task_loads, l_ave, float(loads[p])
         )
+        o_loads = task_loads[order]  # one gather instead of per-task lookups
         accepted: list[int] = []
-        for task in order:
+        for task, o_load in zip(order, o_loads):
             if loads[p] <= threshold_load:
                 break
-            if cmf is None:
+            if sampler.exhausted:
                 break
-            o_load = float(task_loads[task])
-            idx = sample_cmf(cmf, rng)
+            o_load = float(o_load)
+            idx = sampler.sample(rng)
             if shared:
                 l_x = float(loads[candidates[idx]])
             else:
@@ -317,13 +390,11 @@ def _transfer_from_rank(
                     # knowledge and keeps the task.
                     stats.nacked += 1
                     if not shared:
-                        known_loads[idx] = float(loads[recipient])
                         if config.recompute_cmf:
-                            cmf = build_cmf(known_loads, l_ave, config.cmf)
-                            stats.cmf_builds += 1
+                            sampler.update(idx, float(loads[recipient]))
+                        else:
+                            sampler.poke(idx, float(loads[recipient]))
                     continue
-                if not shared:
-                    known_loads[idx] = l_x + o_load
                 loads[p] -= o_load
                 loads[recipient] += o_load
                 assignment[task] = recipient
@@ -333,10 +404,10 @@ def _transfer_from_rank(
                 stats.transfers += 1
                 stats.moves.append((int(task), p, recipient))
                 if config.recompute_cmf:
-                    if shared:
-                        known_loads = loads[candidates]
-                    cmf = build_cmf(known_loads, l_ave, config.cmf)
-                    stats.cmf_builds += 1
+                    new_known = float(loads[recipient]) if shared else l_x + o_load
+                    sampler.update(idx, new_known)
+                elif not shared:
+                    sampler.poke(idx, l_x + o_load)
             else:
                 stats.rejections += 1
         if accepted:
@@ -345,8 +416,10 @@ def _transfer_from_rank(
             tasks = rank_tasks[p]
         else:
             break
-        if cmf is None:
+        if sampler.exhausted:
             break
-    if cmf is None and loads[p] > threshold_load:
+    stats.cmf_builds += sampler.builds
+    stats.cmf_updates += sampler.updates
+    if sampler.exhausted and loads[p] > threshold_load:
         stats.stalled_ranks += 1
     return touched

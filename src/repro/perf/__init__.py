@@ -1,0 +1,11 @@
+"""Performance harness: microbenchmarks of the LB pipeline hot paths.
+
+``repro bench`` (see :mod:`repro.cli`) runs :func:`run_benchmarks` and
+writes ``BENCH_perf.json`` so every change leaves a perf trajectory to
+regress against. See ``docs/performance.md`` for the hot-path map and
+how to read the output.
+"""
+
+from repro.perf.bench import BenchResult, format_report, run_benchmarks
+
+__all__ = ["BenchResult", "format_report", "run_benchmarks"]

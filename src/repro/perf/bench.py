@@ -1,0 +1,261 @@
+"""Microbenchmarks for the gossip-LB hot paths.
+
+Four timed paths, mirroring where an LB episode actually spends time:
+
+``inform``
+    One full inform stage (Alg. 1, coalesced) — knowledge merges and
+    target sampling.
+``transfer/rebuild`` vs ``transfer/incremental``
+    One transfer stage (Alg. 2) with CMF recomputation per accepted
+    transfer, under both maintenance strategies. Their ratio is the
+    headline speedup of the incremental-CMF fast path; both run the
+    same seed and propose the same assignment, so the comparison is
+    work-for-work.
+``refinement/serial`` vs ``refinement/parallel``
+    Algorithm 3 with the trial loop serial (spawned streams, one
+    worker) vs. threaded — same streams, bit-identical output. The
+    per-stage ``wall.*`` timers from the instrumented run ride along.
+``empire_step``
+    A short EMPIRE surrogate run, reported per simulated step — the
+    end-to-end figure the ROADMAP's "fast as the hardware allows" goal
+    is judged by.
+
+Default scale is the paper's § V analysis scenario (10^4 tasks on
+4096 ranks); ``quick`` drops to a CI-smoke size. Every case reports
+the best of ``repeats`` runs (state is rebuilt per run, so repeated
+timings are independent).
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.cmf import CMF_UPDATE_INCREMENTAL, CMF_UPDATE_REBUILD
+from repro.core.gossip import GossipConfig, run_inform_stage
+from repro.core.refinement import iterative_refinement
+from repro.core.transfer import TransferConfig, transfer_stage
+from repro.obs import StatsRegistry
+from repro.workloads.synthetic import paper_analysis_scenario
+
+__all__ = ["BenchResult", "run_benchmarks", "format_report"]
+
+#: The § V analysis scale (n_tasks, n_loaded_ranks, n_ranks).
+FULL_SCALE = (10_000, 16, 4096)
+#: CI-smoke scale for ``--quick``.
+QUICK_SCALE = (2_000, 8, 512)
+
+
+@dataclass
+class BenchResult:
+    """Best-of-N timing for one benchmark case."""
+
+    name: str
+    seconds: float  #: best wall time across repeats
+    repeats: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "repeats": self.repeats,
+            **self.extra,
+        }
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best wall time of ``repeats`` calls, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_benchmarks(
+    quick: bool = False, repeats: int = 3, seed: int = 0
+) -> dict[str, Any]:
+    """Run every benchmark case and return the ``BENCH_perf.json`` payload."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    n_tasks, n_loaded, n_ranks = QUICK_SCALE if quick else FULL_SCALE
+    dist = paper_analysis_scenario(
+        n_tasks=n_tasks, n_loaded_ranks=n_loaded, n_ranks=n_ranks, seed=seed
+    )
+    loads = np.bincount(
+        dist.assignment, weights=dist.task_loads, minlength=dist.n_ranks
+    )
+    results: list[BenchResult] = []
+
+    # -- inform stage -------------------------------------------------------
+    def bench_inform():
+        return run_inform_stage(
+            loads,
+            GossipConfig(),
+            np.random.default_rng(seed + 1),
+            average_load=dist.average_load,
+        )
+
+    secs, inform = _time_best(bench_inform, repeats)
+    results.append(
+        BenchResult(
+            "inform",
+            secs,
+            repeats,
+            {"messages": inform.n_messages, "coverage": float(inform.coverage())},
+        )
+    )
+
+    # -- transfer stage: full-rebuild reference vs incremental fast path ----
+    transfer_secs: dict[str, float] = {}
+    transfer_counts: dict[str, int] = {}
+    for mode in (CMF_UPDATE_REBUILD, CMF_UPDATE_INCREMENTAL):
+        config = TransferConfig(cmf_update=mode)
+
+        def bench_transfer(config=config):
+            assignment = np.array(dist.assignment, copy=True)
+            return transfer_stage(
+                assignment,
+                dist.task_loads,
+                inform,
+                config,
+                np.random.default_rng(seed + 2),
+            )
+
+        secs, stats = _time_best(bench_transfer, repeats)
+        transfer_secs[mode] = secs
+        transfer_counts[mode] = stats.transfers
+        results.append(
+            BenchResult(
+                f"transfer/{mode}",
+                secs,
+                repeats,
+                {
+                    "transfers": stats.transfers,
+                    "rejections": stats.rejections,
+                    "cmf_builds": stats.cmf_builds,
+                    "cmf_updates": stats.cmf_updates,
+                },
+            )
+        )
+
+    # -- refinement: serial vs threaded trials ------------------------------
+    n_trials, n_iters, n_workers = (2, 2, 2) if quick else (4, 2, 4)
+    refine_secs: dict[str, float] = {}
+    wall_timers: dict[str, float] = {}
+    for label, workers in (("serial", 1), ("parallel", n_workers)):
+
+        def bench_refinement(workers=workers):
+            registry = StatsRegistry()
+            iterative_refinement(
+                dist,
+                n_trials=n_trials,
+                n_iters=n_iters,
+                rng=np.random.default_rng(seed + 3),
+                registry=registry,
+                n_workers=workers,
+            )
+            return registry
+
+        secs, registry = _time_best(bench_refinement, repeats)
+        refine_secs[label] = secs
+        if label == "serial":
+            wall_timers = {k: float(v) for k, v in registry.timers.items()}
+        results.append(
+            BenchResult(
+                f"refinement/{label}",
+                secs,
+                repeats,
+                {"n_trials": n_trials, "n_iters": n_iters, "n_workers": workers},
+            )
+        )
+
+    # -- EMPIRE surrogate step ---------------------------------------------
+    from repro.empire import EmpireConfig, run_empire
+
+    empire_ranks, empire_steps = (32, 12) if quick else (100, 40)
+    empire_config = EmpireConfig(
+        configuration="tempered",
+        n_ranks=empire_ranks,
+        n_steps=empire_steps,
+        lb_period=empire_steps // 4,
+        initial_particles=2_000 if quick else 10_000,
+        injection_per_step=20 if quick else 100,
+        n_trials=1,
+        n_iters=4,
+        seed=seed,
+    )
+    secs, _ = _time_best(lambda: run_empire(empire_config), max(1, repeats - 1))
+    results.append(
+        BenchResult(
+            "empire_step",
+            secs / empire_steps,
+            max(1, repeats - 1),
+            {"ranks": empire_ranks, "steps": empire_steps, "run_seconds": secs},
+        )
+    )
+
+    speedups = {
+        "transfer_incremental_vs_rebuild": (
+            transfer_secs[CMF_UPDATE_REBUILD] / transfer_secs[CMF_UPDATE_INCREMENTAL]
+        ),
+        "refinement_parallel_vs_serial": (
+            refine_secs["serial"] / refine_secs["parallel"]
+        ),
+    }
+    return {
+        "meta": {
+            "quick": quick,
+            "repeats": repeats,
+            "seed": seed,
+            "scale": {"n_tasks": n_tasks, "n_loaded_ranks": n_loaded, "n_ranks": n_ranks},
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "benchmarks": [r.to_dict() for r in results],
+        "speedups": speedups,
+        "wall_timers": wall_timers,
+        "equivalent_transfers": (
+            transfer_counts[CMF_UPDATE_REBUILD] == transfer_counts[CMF_UPDATE_INCREMENTAL]
+        ),
+    }
+
+
+def format_report(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_benchmarks` payload."""
+    meta = payload["meta"]
+    scale = meta["scale"]
+    lines = [
+        f"perf bench ({'quick' if meta['quick'] else 'full'} scale: "
+        f"{scale['n_tasks']} tasks, {scale['n_ranks']} ranks; "
+        f"best of {meta['repeats']})",
+        "",
+    ]
+    width = max(len(b["name"]) for b in payload["benchmarks"])
+    for bench in payload["benchmarks"]:
+        detail = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in bench.items()
+            if k not in ("name", "seconds", "repeats")
+        )
+        lines.append(
+            f"  {bench['name']:<{width}}  {bench['seconds'] * 1e3:9.2f} ms"
+            + (f"  ({detail})" if detail else "")
+        )
+    lines.append("")
+    for name, value in payload["speedups"].items():
+        lines.append(f"  speedup {name}: {value:.2f}x")
+    if payload.get("wall_timers"):
+        timers = ", ".join(
+            f"{k}={v * 1e3:.1f}ms" for k, v in sorted(payload["wall_timers"].items())
+        )
+        lines.append(f"  stage wall timers (serial refinement): {timers}")
+    return "\n".join(lines)

@@ -113,10 +113,10 @@ class DistributedGossip:
             )
             payload = know.known(proc.rank)
             size = HEADER_BYTES + ENTRY_BYTES * payload.size
-            for dst in targets:
-                proc.send(int(dst), tag, payload=(payload, next_round), size=size)
-                counters["messages"] += 1
-                counters["bytes"] += size
+            proc.send_many(targets, tag, payload=(payload, next_round), size=size)
+            n_sent = int(len(targets))
+            counters["messages"] += n_sent
+            counters["bytes"] += n_sent * size
 
         def on_inform(proc: Process, msg) -> None:
             members, round_index = msg.payload

@@ -66,6 +66,32 @@ class Process:
         )
         self.system.transmit(msg)
 
+    def send_many(
+        self, dsts: "list[int] | Any", tag: str, payload: Any = None, size: int = 64
+    ) -> None:
+        """Fan one payload out to several destinations in one call.
+
+        Equivalent to :meth:`send` per destination, in order, but the
+        system batches the message accounting (see
+        :meth:`System.transmit_many`).
+        """
+        now = self.system.engine.now
+        msgs = [
+            Message(
+                src=self.rank,
+                dst=int(dst),
+                tag=tag,
+                payload=payload,
+                size=size,
+                send_time=now,
+            )
+            for dst in dsts
+        ]
+        if not msgs:
+            return
+        self.sent += len(msgs)
+        self.system.transmit_many(msgs)
+
     def compute(self, duration: float) -> None:
         """Occupy this rank's CPU for ``duration`` seconds."""
         check_nonnegative("duration", duration)
@@ -161,16 +187,38 @@ class System:
 
     def transmit(self, msg: Message) -> None:
         """Route a message through the network to its destination."""
-        if not 0 <= msg.dst < self.n_ranks:
-            raise ValueError(f"destination rank {msg.dst} out of range")
-        self.messages_sent += 1
-        self.bytes_sent += msg.size
+        self.transmit_many([msg])
+
+    def transmit_many(self, msgs: list[Message]) -> None:
+        """Route a burst of messages; identical to :meth:`transmit` per
+        message in order, with the counter/registry accounting batched.
+
+        Per-message observable behavior is preserved: transmit hooks run
+        once per message in order, and each message's NIC serialization
+        chain and arrival event use the same scalar arithmetic as the
+        single-message path (so event timestamps are bit-identical).
+        """
+        if not msgs:
+            return
+        for msg in msgs:
+            if not 0 <= msg.dst < self.n_ranks:
+                raise ValueError(f"destination rank {msg.dst} out of range")
+        self.messages_sent += len(msgs)
+        self.bytes_sent += sum(m.size for m in msgs)
         if self.registry is not None and self.registry.enabled:
-            self.registry.inc(f"net.messages.{msg.tag}")
-            self.registry.inc(f"net.bytes.{msg.tag}", msg.size)
-            self.registry.inc(f"net.links.{self.network.link_class(msg.src, msg.dst)}")
-        for hook in self._transmit_hooks:
-            hook(msg)
+            tag_counts: dict[str, int] = {}
+            tag_bytes: dict[str, int] = {}
+            link_counts: dict[str, int] = {}
+            for m in msgs:
+                tag_counts[m.tag] = tag_counts.get(m.tag, 0) + 1
+                tag_bytes[m.tag] = tag_bytes.get(m.tag, 0) + m.size
+                link = self.network.link_class(m.src, m.dst)
+                link_counts[link] = link_counts.get(link, 0) + 1
+            for tag, count in tag_counts.items():
+                self.registry.inc(f"net.messages.{tag}", count)
+                self.registry.inc(f"net.bytes.{tag}", tag_bytes[tag])
+            for link, count in link_counts.items():
+                self.registry.inc(f"net.links.{link}", count)
         # Sender-side NIC serialization: concurrent sends from one rank
         # queue behind each other for their transmission (beta) time; the
         # wire latency (alpha) then overlaps freely. At the destination,
@@ -178,14 +226,20 @@ class System:
         # a stream completes no earlier than the previous stream's finish
         # plus its own transmission time (pipelined LogGP-style gap).
         now = self.engine.now
-        tx = self.network.tx_seconds(msg.src, msg.dst, msg.size)
-        depart = max(now, self._nic_free[msg.src]) + tx
-        self._nic_free[msg.src] = depart
-        arrival = depart + self.network.wire_latency(msg.src, msg.dst)
-        rx_done = max(arrival, self._rx_free[msg.dst] + tx)
-        self._rx_free[msg.dst] = rx_done
-        dest = self.processes[msg.dst]
-        self.engine.schedule_at(rx_done, self._arrive, dest, msg)
+        network = self.network
+        nic_free = self._nic_free
+        rx_free = self._rx_free
+        schedule_at = self.engine.schedule_at
+        for msg in msgs:
+            for hook in self._transmit_hooks:
+                hook(msg)
+            tx = network.tx_seconds(msg.src, msg.dst, msg.size)
+            depart = max(now, nic_free[msg.src]) + tx
+            nic_free[msg.src] = depart
+            arrival = depart + network.wire_latency(msg.src, msg.dst)
+            rx_done = max(arrival, rx_free[msg.dst] + tx)
+            rx_free[msg.dst] = rx_done
+            schedule_at(rx_done, self._arrive, self.processes[msg.dst], msg)
 
     def _arrive(self, dest: Process, msg: Message) -> None:
         for hook in self._deliver_hooks:

@@ -1,0 +1,33 @@
+"""Deterministic parallelism helpers.
+
+TemperedLB's ``n_trials`` are embarrassingly parallel (Alg. 3: each
+trial restarts from the same assignment), but sharing one RNG stream
+across workers would make results depend on scheduling. The fix is the
+standard spawned-streams pattern: derive one child generator per trial
+from the parent generator *before* any work starts. The children are a
+pure function of the parent's state, so a fixed seed produces the same
+per-trial streams — and therefore bit-identical results — whether the
+trials then run on one worker or many.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_streams"]
+
+
+def spawn_streams(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """``n`` independent child generators spawned from ``rng``.
+
+    Spawning advances the parent's spawn key but never consumes from its
+    random stream. Falls back to spawning the underlying seed sequence
+    on NumPy versions without ``Generator.spawn``.
+    """
+    if n <= 0:
+        return []
+    try:
+        return list(rng.spawn(n))
+    except AttributeError:  # pragma: no cover - numpy < 1.25
+        children = rng.bit_generator.seed_seq.spawn(n)  # type: ignore[attr-defined]
+        return [np.random.default_rng(child) for child in children]

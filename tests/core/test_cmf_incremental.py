@@ -1,0 +1,181 @@
+"""Equivalence proof-by-test: IncrementalCMF vs. fresh ``build_cmf``.
+
+The incremental sampler's contract (see ``repro/core/cmf.py``) is that
+after any sequence of single-candidate load updates its mass vector,
+exhausted condition and materialized prefix sums are *exactly* what a
+from-scratch ``build_cmf`` over the current loads produces, and that a
+draw consumes exactly one uniform and lands on the same index as
+``sample_cmf`` on the materialized CMF.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cmf import (
+    CMF_MODIFIED,
+    CMF_ORIGINAL,
+    IncrementalCMF,
+    _fenwick_add,
+    _fenwick_build,
+    _fenwick_search,
+    build_cmf,
+    sample_cmf,
+)
+
+loads_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+updates_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1_000_000),  # index (mod size)
+        st.floats(min_value=0.0, max_value=80.0, allow_nan=False),  # new load
+    ),
+    max_size=30,
+)
+
+
+def assert_matches_fresh_build(inc: IncrementalCMF, l_ave: float, variant: str):
+    """The incremental state must equal a from-scratch build, exactly."""
+    fresh = build_cmf(inc.loads, l_ave, variant)
+    if fresh is None:
+        assert inc.exhausted
+        assert inc.materialize() is None
+    else:
+        assert not inc.exhausted
+        materialized = inc.materialize()
+        assert np.array_equal(materialized, fresh)
+        # Masses themselves are bit-identical to build_cmf's expression.
+        loads = np.asarray(inc.loads, dtype=np.float64)
+        expected_masses = np.clip(1.0 - loads / inc.l_s, 0.0, None)
+        assert np.array_equal(inc.masses, expected_masses)
+
+
+class TestIncrementalMatchesBuild:
+    @given(loads=loads_strategy, l_ave=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_initial_state_both_variants(self, loads, l_ave):
+        for variant in (CMF_ORIGINAL, CMF_MODIFIED):
+            inc = IncrementalCMF(np.asarray(loads), l_ave, variant)
+            assert_matches_fresh_build(inc, l_ave, variant)
+
+    @given(
+        loads=loads_strategy,
+        l_ave=st.floats(min_value=1e-3, max_value=50.0),
+        updates=updates_strategy,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_random_update_sequences(self, loads, l_ave, updates):
+        for variant in (CMF_ORIGINAL, CMF_MODIFIED):
+            inc = IncrementalCMF(np.asarray(loads), l_ave, variant)
+            for raw_idx, new_load in updates:
+                inc.update(raw_idx % len(loads), new_load)
+                assert_matches_fresh_build(inc, l_ave, variant)
+
+    @given(
+        loads=loads_strategy,
+        l_ave=st.floats(min_value=1e-3, max_value=50.0),
+        updates=updates_strategy,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sample_draws_match_sample_cmf(self, loads, l_ave, updates, seed):
+        """Same RNG stream, same drawn index as the materialized CMF."""
+        inc = IncrementalCMF(np.asarray(loads), l_ave, CMF_MODIFIED)
+        rng_inc = np.random.default_rng(seed)
+        rng_ref = np.random.default_rng(seed)
+        for raw_idx, new_load in updates:
+            inc.update(raw_idx % len(loads), new_load)
+            if inc.exhausted:
+                continue
+            reference = inc.materialize()
+            assert sample_cmf(reference, rng_ref) == inc.sample(rng_inc)
+        # One uniform per draw: the streams stay aligned.
+        assert rng_inc.random() == rng_ref.random()
+
+    def test_transfer_like_walk_stays_exact(self):
+        """A long accept/nack-style walk (the transfer stage's usage)."""
+        rng = np.random.default_rng(42)
+        loads = rng.uniform(0.0, 2.0, size=64)
+        l_ave = 1.0
+        inc = IncrementalCMF(loads, l_ave, CMF_MODIFIED)
+        for _ in range(500):
+            if inc.exhausted:
+                break
+            idx = inc.sample(rng)
+            # Simulate an accepted transfer onto the sampled recipient,
+            # occasionally a downward nack correction.
+            delta = rng.uniform(0.0, 0.3)
+            new_load = float(inc.loads[idx]) + delta
+            if rng.random() < 0.1:
+                new_load = max(0.0, float(inc.loads[idx]) - delta)
+            inc.update(idx, new_load)
+            assert_matches_fresh_build(inc, l_ave, CMF_MODIFIED)
+        assert inc.updates > 0
+
+    def test_exhaustion_equivalence_edge_cases(self):
+        # Empty candidate list.
+        inc = IncrementalCMF(np.zeros(0), 1.0, CMF_MODIFIED)
+        assert inc.exhausted and inc.materialize() is None
+        # l_s == 0 (all-zero loads, zero average).
+        inc = IncrementalCMF(np.zeros(3), 0.0, CMF_MODIFIED)
+        assert inc.exhausted
+        assert build_cmf(np.zeros(3), 0.0, CMF_MODIFIED) is None
+        # Every candidate at l_s: no positive mass.
+        inc = IncrementalCMF(np.full(4, 2.0), 1.0, CMF_MODIFIED)
+        assert inc.exhausted
+        assert build_cmf(np.full(4, 2.0), 1.0, CMF_MODIFIED) is None
+        # Raising one candidate above l_s rebuilds; dropping it back
+        # revives positive mass for the rest.
+        inc = IncrementalCMF(np.array([1.0, 2.0]), 1.0, CMF_MODIFIED)
+        assert not inc.exhausted
+        inc.update(0, 2.0)
+        assert inc.exhausted
+        inc.update(0, 0.5)
+        assert not inc.exhausted
+        assert_matches_fresh_build(inc, 1.0, CMF_MODIFIED)
+
+    def test_sampling_exhausted_raises(self):
+        inc = IncrementalCMF(np.zeros(0), 1.0, CMF_MODIFIED)
+        with pytest.raises(ValueError):
+            inc.sample(np.random.default_rng(0))
+
+    def test_counts_builds_and_updates(self):
+        inc = IncrementalCMF(np.array([0.2, 0.4, 0.6]), 1.0, CMF_MODIFIED)
+        assert inc.builds == 1 and inc.updates == 0
+        inc.update(0, 0.3)  # no l_s change: point update only
+        assert inc.builds == 1 and inc.updates == 1
+        inc.update(1, 5.0)  # new running max above l_s: full rebuild
+        assert inc.builds == 2 and inc.updates == 2
+
+
+class TestFenwick:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_build_matches_prefix_sums(self, values):
+        arr = np.asarray(values)
+        tree = _fenwick_build(arr)
+        # Every inclusive prefix reachable by descent equals the cumsum.
+        for target in np.cumsum(arr) - 1e-12:
+            idx = _fenwick_search(tree, float(max(target, 0.0)))
+            ref = int(np.searchsorted(np.cumsum(arr), float(max(target, 0.0)), side="right"))
+            assert idx == min(ref, arr.size - 1) or idx == ref
+
+    def test_add_then_search(self):
+        arr = np.array([1.0, 0.0, 2.0, 1.0])
+        tree = _fenwick_build(arr)
+        _fenwick_add(tree, 1, 3.0)  # arr becomes [1, 3, 2, 1]
+        # Cumulative: [1, 4, 6, 7]; target 2.5 lands in index 1.
+        assert _fenwick_search(tree, 2.5) == 1
+        assert _fenwick_search(tree, 0.5) == 0
+        assert _fenwick_search(tree, 6.5) == 3

@@ -78,6 +78,50 @@ class TestCoreStages:
         (rebalance_event,) = reg.events_of("lb.rebalance")
         assert rebalance_event.fields["strategy"] == "TemperedLB"
 
+    def test_refinement_records_stage_wall_timers(self):
+        dist = paper_analysis_scenario(n_tasks=300, n_loaded_ranks=4, n_ranks=32, seed=1)
+        reg = StatsRegistry()
+        lb = TemperedLB(n_trials=2, n_iters=3).instrument(reg)
+        lb.rebalance(dist, rng=np.random.default_rng(0))
+        assert reg.timers["wall.inform"] > 0.0
+        assert reg.timers["wall.transfer"] > 0.0
+        assert reg.timers["wall.refinement"] > 0.0
+        # The full refinement loop dominates any single stage.
+        assert reg.timers["wall.refinement"] >= reg.timers["wall.transfer"]
+
+    def test_incremental_cmf_counters_and_equivalence(self):
+        """Incremental CMF maintenance replaces rebuilds with point
+        updates and proposes the same assignment as full rebuilds."""
+        from repro.core.cmf import CMF_UPDATE_INCREMENTAL, CMF_UPDATE_REBUILD
+        from repro.core.transfer import TransferConfig
+
+        dist = paper_analysis_scenario(n_tasks=300, n_loaded_ranks=4, n_ranks=32, seed=1)
+        loads = dist.rank_loads()
+        gossip = run_inform_stage(
+            loads, GossipConfig(fanout=4, rounds=6), np.random.default_rng(2)
+        )
+        outcomes = {}
+        for mode in (CMF_UPDATE_REBUILD, CMF_UPDATE_INCREMENTAL):
+            assignment = dist.assignment.copy()
+            reg = StatsRegistry()
+            stats = transfer_stage(
+                assignment,
+                dist.task_loads,
+                gossip,
+                TransferConfig(cmf_update=mode),
+                rng=np.random.default_rng(3),
+                registry=reg,
+            )
+            outcomes[mode] = (assignment, stats, reg)
+        rebuild_asg, rebuild_stats, rebuild_reg = outcomes[CMF_UPDATE_REBUILD]
+        incr_asg, incr_stats, incr_reg = outcomes[CMF_UPDATE_INCREMENTAL]
+        assert np.array_equal(rebuild_asg, incr_asg)
+        assert rebuild_stats.transfers == incr_stats.transfers
+        assert rebuild_stats.rejections == incr_stats.rejections
+        assert rebuild_reg.counter("transfer.cmf_updates") == 0
+        assert incr_reg.counter("transfer.cmf_updates") == incr_stats.cmf_updates > 0
+        assert incr_stats.cmf_builds < rebuild_stats.cmf_builds
+
 
 class TestAcceptanceCriterion:
     """TemperedLB + time-varying workload -> JSON with per-iteration counts."""

@@ -175,3 +175,27 @@ class TestProtocols:
         row = json.loads(out_file.read_text())[0]
         assert row["P"] == 16
         assert row["coverage"] > 0.5
+
+
+class TestBench:
+    def test_quick_bench_writes_json(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["bench", "--quick", "--repeats", "1", "--json", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transfer_incremental_vs_rebuild" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["meta"]["quick"] is True
+        names = {b["name"] for b in payload["benchmarks"]}
+        assert {"inform", "transfer/rebuild", "transfer/incremental"} <= names
+        assert payload["equivalent_transfers"] is True
+        assert payload["speedups"]["transfer_incremental_vs_rebuild"] > 0
+
+    def test_dash_skips_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--quick", "--repeats", "1", "--json", "-"])
+        assert code == 0
+        assert "perf bench" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_perf.json").exists()
