@@ -2,10 +2,12 @@
 
 Runs the same harness as ``repro bench`` (quick scale, so it fits the
 benchmark suite's budget), prints the report and persists it to
-``benchmarks/results/perf_hot_paths.txt``. The headline number is the
-transfer-stage speedup of incremental CMF maintenance over the
-pre-optimization full-rebuild path; the acceptance floor at the § V
-analysis scale (``repro bench`` without ``--quick``) is 3x.
+``benchmarks/results/perf_hot_paths.txt``. The headline numbers are the
+inform-stage speedup of the batched engine over the per-sender loop
+(acceptance floor 4x at the § V analysis scale) and the transfer-stage
+speedup of incremental CMF maintenance over the pre-optimization
+full-rebuild path (floor 3x at full scale); ``repro bench`` without
+``--quick`` produces the full-scale figures.
 """
 
 from repro.perf import format_report, run_benchmarks
@@ -18,8 +20,12 @@ def run_hot_paths():
 def test_perf_hot_paths(benchmark, artifact):
     payload = benchmark.pedantic(run_hot_paths, rounds=1, iterations=1)
     artifact("perf_hot_paths", format_report(payload))
-    # Informational floor: even at quick scale the fast path should beat
-    # the full-rebuild reference clearly; the 3x acceptance bar applies
-    # to the full § V scale where rebuilds are 8x larger.
+    # Informational floors: even at quick scale the fast paths should
+    # beat their references clearly; the 3x/4x acceptance bars apply to
+    # the full § V scale where the references are 8x larger.
     assert payload["speedups"]["transfer_incremental_vs_rebuild"] > 1.5
+    assert payload["speedups"]["inform_batched_vs_loop"] > 1.5
     assert payload["equivalent_transfers"]
+    for bench in payload["benchmarks"]:
+        if bench["name"].startswith("inform/"):
+            assert bench["message_model_exact"], bench["name"]

@@ -20,7 +20,7 @@ from repro.core.gossip import GossipConfig, GossipResult, run_inform_stage
 from repro.core.grapevine import GrapevineLB
 from repro.core.greedy import GreedyLB
 from repro.core.hier import HierLB
-from repro.core.knowledge import KnowledgeBitmap
+from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
 from repro.core.metrics import (
     LoadStatistics,
     imbalance,
@@ -57,6 +57,7 @@ __all__ = [
     "LoadBalancer",
     "LoadStatistics",
     "ORDERINGS",
+    "PackedKnowledgeBitmap",
     "RandomLB",
     "RefinementResult",
     "RotateLB",

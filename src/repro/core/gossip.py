@@ -17,6 +17,23 @@ Two propagation modes are provided:
     triggers ``f`` forwards, i.e. up to ``f^k`` messages. Provided for
     fidelity experiments at small scale; guarded by ``max_messages``.
 
+The coalesced mode additionally selects between two *engines*:
+
+``batched`` (default)
+    Round-level vectorization on a :class:`PackedKnowledgeBitmap`: all
+    of a round's fan-out targets are sampled in one pass (rejection
+    sampling in rank-id space while candidate sets are dense, a
+    segment-sorted exact sampler once they thin out), and all of a
+    round's merges execute as one scatter-OR over the packed round
+    matrix. Because the batch reorders RNG draws, results are
+    *statistically* equivalent to the loop engine (identical message
+    counts under the ``f x |senders|`` model, matched coverage
+    distributions) rather than bit-identical.
+
+``loop``
+    The per-sender reference loop on a boolean
+    :class:`KnowledgeBitmap`, kept as the behavioural oracle.
+
 The event-level asynchronous version (messages with latencies, no round
 barrier, termination detection) lives in
 :mod:`repro.runtime.distributed_gossip`.
@@ -28,7 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.knowledge import KnowledgeBitmap
+from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
 from repro.obs import StatsRegistry
 from repro.util.validation import check_in, check_positive, coerce_rng
 
@@ -38,6 +55,16 @@ __all__ = ["GossipConfig", "GossipResult", "GossipExplosionError", "run_inform_s
 ENTRY_BYTES = 16
 #: Fixed per-message envelope bytes (header, round counter).
 HEADER_BYTES = 32
+
+if hasattr(np, "bitwise_count"):
+    _popcount = np.bitwise_count
+else:  # pragma: no cover - NumPy < 2.0 fallback
+    _POPCOUNT_TABLE = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(x: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_TABLE[x]
 
 
 class GossipExplosionError(RuntimeError):
@@ -51,6 +78,10 @@ class GossipConfig:
     fanout: int = 6  #: f — gossip fanout factor
     rounds: int = 10  #: k — number of gossip rounds
     mode: str = "coalesced"  #: "coalesced" or "per_message"
+    #: Coalesced-mode execution engine: "batched" (vectorized rounds on
+    #: packed knowledge, the fast path) or "loop" (per-sender reference).
+    #: Ignored by per_message mode, which is inherently sequential.
+    engine: str = "batched"
     avoid_known: bool = True  #: sample forward targets from P \ S^p (l.20)
     max_messages: int = 2_000_000  #: safety cap for per_message mode
     #: Cap on |S^p| — the limited-information variant of the paper's
@@ -74,6 +105,7 @@ class GossipConfig:
         check_positive("fanout", self.fanout)
         check_positive("rounds", self.rounds)
         check_in("mode", self.mode, ("coalesced", "per_message"))
+        check_in("engine", self.engine, ("batched", "loop"))
         check_positive("max_messages", self.max_messages)
         if self.max_known is not None:
             check_positive("max_known", self.max_known)
@@ -87,7 +119,7 @@ class GossipConfig:
 class GossipResult:
     """Outcome of one inform stage."""
 
-    knowledge: KnowledgeBitmap
+    knowledge: KnowledgeBitmap | PackedKnowledgeBitmap
     underloaded: np.ndarray  #: boolean mask, True where l^p < l_ave
     load_snapshot: np.ndarray  #: rank loads at inform time
     average_load: float
@@ -96,6 +128,10 @@ class GossipResult:
     inter_node_messages: int = 0  #: messages crossing node boundaries
     rounds_run: int = 0
     per_round_messages: list[int] = field(default_factory=list)
+    #: Ranks that sent in each round (round 1 = the underloaded seeds);
+    #: the f*|senders| message model checks against this. Filled by
+    #: both coalesced engines; per_message counts distinct forwarders.
+    per_round_senders: list[int] = field(default_factory=list)
 
     def coverage(self) -> float:
         """Mean fraction of underloaded ranks known per rank."""
@@ -178,7 +214,10 @@ def run_inform_stage(
     l_ave = float(loads.mean()) if average_load is None else float(average_load)
 
     underloaded = loads < l_ave
-    know = KnowledgeBitmap(n_ranks)
+    batched = config.mode == "coalesced" and config.engine == "batched"
+    know: KnowledgeBitmap | PackedKnowledgeBitmap = (
+        PackedKnowledgeBitmap(n_ranks) if batched else KnowledgeBitmap(n_ranks)
+    )
     result = GossipResult(
         knowledge=know,
         underloaded=underloaded,
@@ -192,13 +231,32 @@ def run_inform_stage(
         return result
     know.add_self(seeds)
 
-    if config.mode == "coalesced":
-        _run_coalesced(know, seeds, config, rng, result)
+    if config.mode == "per_message":
+        _run_per_message(know, seeds, config, rng, result)  # type: ignore[arg-type]
+    elif batched:
+        _run_coalesced_batched(know, seeds, config, rng, result)  # type: ignore[arg-type]
     else:
-        _run_per_message(know, seeds, config, rng, result)
+        _run_coalesced(know, seeds, config, rng, result)  # type: ignore[arg-type]
+    _finalize_rounds(result)
     if registry is not None and registry.enabled:
         _record_inform_stage(registry, result)
     return result
+
+
+def _finalize_rounds(result: GossipResult) -> None:
+    """Unify trailing-round semantics across modes and engines.
+
+    A round in which nobody sent anything did not happen: trailing
+    zero-message entries are dropped (``per_message`` always ended its
+    wave loop with one; ``coalesced`` left one behind whenever the last
+    senders had empty candidate sets) and ``rounds_run`` is the number
+    of rounds that actually carried messages.
+    """
+    while result.per_round_messages and result.per_round_messages[-1] == 0:
+        result.per_round_messages.pop()
+        if result.per_round_senders:
+            result.per_round_senders.pop()
+    result.rounds_run = len(result.per_round_messages)
 
 
 def _record_inform_stage(registry: StatsRegistry, result: GossipResult) -> None:
@@ -281,29 +339,33 @@ def _run_coalesced(
     rng: np.random.Generator,
     result: GossipResult,
 ) -> None:
+    """Per-sender reference loop (``engine="loop"``)."""
     n_ranks = know.n_ranks
     all_ranks = np.arange(n_ranks)
     senders = seeds
     initiating = True
-    for round_index in range(1, config.rounds + 1):
+    for _round in range(1, config.rounds + 1):
         result.per_round_messages.append(0)
-        result.rounds_run = round_index
-        # Snapshot sender rows: a round-r message carries knowledge as of
-        # its send time, not knowledge merged later in the same round.
+        result.per_round_senders.append(int(senders.size))
+        # Snapshot sender rows: in a barrier-synchronized round every
+        # rank sends before anything is delivered, so both the payload
+        # *and* the P \ S^p candidate set reflect knowledge as of round
+        # start, never merges from the same round.
         snapshot = know.rows[senders].copy()
         received = np.zeros(n_ranks, dtype=bool)
         for row, sender in zip(snapshot, senders):
-            if initiating and not config.avoid_known:
+            if initiating:
+                # Alg. 1 l.10: the seeding round samples from all of P
+                # (minus self) regardless of avoid_known — a seed's
+                # knowledge is exactly itself, so P \ S^p and P \ {p}
+                # coincide and the two intents collapse to one branch.
                 candidates = all_ranks[all_ranks != sender]
-            elif initiating:
-                # Alg. 1 l.10 samples from all of P; we still exclude self.
-                candidates = all_ranks[all_ranks != sender]
+            elif config.avoid_known:
+                unknown = ~row
+                unknown[sender] = False
+                candidates = np.flatnonzero(unknown)
             else:
-                candidates = (
-                    know.unknown_targets(sender)
-                    if config.avoid_known
-                    else all_ranks[all_ranks != sender]
-                )
+                candidates = all_ranks[all_ranks != sender]
             targets = _sample_targets(rng, candidates, config.fanout, int(sender), config)
             entries = int(row.sum())
             if config.max_known is None:
@@ -328,6 +390,331 @@ def _run_coalesced(
             break
 
 
+# ---------------------------------------------------------------------------
+# Batched engine (``engine="batched"``): round-level vectorization.
+# ---------------------------------------------------------------------------
+
+#: Rejection-sampling wave cap before the exact sampler takes over.
+_MAX_REJECTION_WAVES = 8
+#: Widest draw matrix one rejection wave may allocate per row; beyond
+#: this the wave's dedup sort costs more than the exact sampler.
+_MAX_WAVE_WIDTH = 64
+#: Candidate density (as 1/_SPARSE_DIVISOR of P) below which the exact
+#: sampler beats rejection waves.
+_SPARSE_DIVISOR = 64
+
+
+def _sample_sparse_rows(
+    rng: np.random.Generator,
+    cand: np.ndarray,
+    rows: np.ndarray,
+    want: np.ndarray,
+    n_ranks: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact per-row sampling for thinned-out candidate sets.
+
+    Extracts candidate ids straight from the packed bytes (only the
+    nonzero bytes are expanded — cheap once sets are sparse), keys
+    every candidate with an independent uniform and takes each row's
+    ``want`` smallest keys: a uniform without-replacement sample per
+    row, via one argpartition over a padded id matrix.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if rows.size == 0:
+        return empty, empty
+    sel = cand[rows]
+    nz_r, nz_b = np.nonzero(sel)
+    if nz_r.size == 0:
+        return empty, empty
+    bits = np.unpackbits(sel[nz_r, nz_b, None], axis=1)
+    br, bc = np.nonzero(bits)
+    rid = nz_r[br]  # row-major nonzero => rid ascending, cid sorted in-row
+    cid = nz_b[br] * 8 + bc
+    seg_counts = np.bincount(rid, minlength=rows.size)
+    take = np.minimum(want, seg_counts)
+    take_max = int(take.max())
+    if take_max == 0:
+        return empty, empty
+    # Pad the ragged candidate lists into a (rows, m_max) matrix.
+    m_max = int(seg_counts.max())
+    seg_starts = np.concatenate(([0], np.cumsum(seg_counts)[:-1]))
+    within = np.arange(rid.size) - seg_starts[rid]
+    ids = np.full((rows.size, m_max), -1, dtype=np.int64)
+    ids[rid, within] = cid
+    keys = rng.random((rows.size, m_max))
+    keys[ids < 0] = np.inf  # padding never wins
+    kth = min(take_max - 1, m_max - 1)
+    part = np.argpartition(keys, kth, axis=1)[:, :take_max]
+    # Order the selected block by key so a row's first take[i] columns
+    # are its take[i] smallest finite keys (padding keys are inf).
+    block = np.take_along_axis(keys, part, axis=1)
+    part = np.take_along_axis(part, np.argsort(block, axis=1), axis=1)
+    accept = np.arange(take_max)[None, :] < take[:, None]
+    targets = ids[np.arange(rows.size)[:, None], part][accept]
+    row_idx = np.broadcast_to(rows[:, None], accept.shape)[accept]
+    return row_idx, targets
+
+
+def _mark_wave_duplicates(draws: np.ndarray) -> np.ndarray:
+    """True where ``draws[i, j]`` repeats an earlier draw of row ``i``."""
+    idx = np.argsort(draws, axis=1, kind="stable")
+    sorted_draws = np.take_along_axis(draws, idx, axis=1)
+    dup_sorted = np.zeros(draws.shape, dtype=bool)
+    dup_sorted[:, 1:] = sorted_draws[:, 1:] == sorted_draws[:, :-1]
+    dup = np.zeros(draws.shape, dtype=bool)
+    np.put_along_axis(dup, idx, dup_sorted, axis=1)
+    return dup
+
+
+def _sample_packed_rows(
+    rng: np.random.Generator,
+    cand: np.ndarray,
+    counts: np.ndarray,
+    want: np.ndarray,
+    n_ranks: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``want[i]`` distinct set bits uniformly from each packed
+    candidate row ``cand[i]``; returns flat ``(row index, rank id)``.
+
+    Hybrid fast path: rows with enough candidates draw uniform rank
+    ids in vectorized waves and reject misses/duplicates — expected
+    ``O(f / density)`` draws per row and *no* candidate
+    materialization, which is what keeps the round cost flat as ``P``
+    grows. Rows whose candidate sets have thinned out (and the rare
+    rows a capped wave budget could not fill) use the exact
+    packed-byte sampler instead.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    want = np.minimum(want, counts)
+    # Rejection pays off while a couple of waves are expected to fill a
+    # row; below ~1/_SPARSE_DIVISOR density the exact sampler wins.
+    min_count = np.maximum(2 * want, counts.dtype.type(n_ranks // _SPARSE_DIVISOR))
+    dense = counts >= min_count
+    need_any = want > 0
+    dense_rows = np.flatnonzero(dense & need_any)
+    sparse_rows = np.flatnonzero(~dense & need_any)
+
+    out_rows: list[np.ndarray] = []
+    out_targets: list[np.ndarray] = []
+
+    if dense_rows.size:
+        fmax = int(want[dense_rows].max())
+        slots = np.full((dense_rows.size, fmax), -1, dtype=np.int64)
+        filled = np.zeros(dense_rows.size, dtype=np.int64)
+        need = want[dense_rows].copy()
+        active = np.arange(dense_rows.size)
+        for _ in range(_MAX_REJECTION_WAVES):
+            if active.size == 0:
+                break
+            remaining = need[active] - filled[active]
+            density = counts[dense_rows[active]] / n_ranks
+            width = int(np.ceil(1.5 * (remaining / density).max()))
+            width = min(max(width, 8), _MAX_WAVE_WIDTH)
+            draws = rng.integers(0, n_ranks, size=(active.size, width))
+            r = dense_rows[active]
+            bit = np.uint8(128) >> (draws & 7).astype(np.uint8)
+            ok = (cand[r[:, None], draws >> 3] & bit) != 0
+            ok &= ~(draws[:, :, None] == slots[active][:, None, :]).any(axis=2)
+            ok &= ~_mark_wave_duplicates(draws)
+            # Accept each row's first `remaining` valid draws, in draw
+            # order — exactly sequential rejection sampling.
+            pos = np.where(ok, np.arange(width), width)
+            pos.sort(axis=1)
+            take_max = int(remaining.max())
+            for j in range(take_max):
+                pj = pos[:, j]
+                acc = (pj < width) & (j < remaining)
+                if not acc.any():
+                    continue
+                rows_j = active[acc]
+                slots[rows_j, filled[rows_j]] = draws[acc, pj[acc]]
+                filled[rows_j] += 1
+            active = active[filled[active] < need[active]]
+        if filled.any():
+            out_rows.append(np.repeat(dense_rows, filled))
+            out_targets.append(slots[slots >= 0])
+        if active.size:  # pragma: no cover - probabilistic fallback
+            # Clear already-picked bits and finish exactly.
+            leftover = dense_rows[active]
+            residual = cand[leftover].copy()
+            picked_rows = np.repeat(np.arange(active.size), filled[active])
+            picked = slots[active][slots[active] >= 0]
+            _clear_bits(residual, picked_rows, picked)
+            extra_rows, extra_targets = _sample_sparse_rows(
+                rng,
+                residual,
+                np.arange(leftover.size),
+                need[active] - filled[active],
+                n_ranks,
+            )
+            out_rows.append(leftover[extra_rows])
+            out_targets.append(extra_targets)
+
+    if sparse_rows.size:
+        s_rows, s_targets = _sample_sparse_rows(
+            rng, cand, sparse_rows, want[sparse_rows], n_ranks
+        )
+        out_rows.append(s_rows)
+        out_targets.append(s_targets)
+
+    if not out_rows:
+        return empty, empty
+    return np.concatenate(out_rows), np.concatenate(out_targets)
+
+
+def _clear_bits(matrix: np.ndarray, rows: np.ndarray, ids: np.ndarray) -> None:
+    """Clear bit ``ids[i]`` in ``matrix[rows[i]]`` (duplicate-safe)."""
+    inv = ~(np.uint8(128) >> (ids & 7).astype(np.uint8))
+    np.bitwise_and.at(matrix, (rows, ids >> 3), inv)
+
+
+def _trim_rows_packed(
+    know: PackedKnowledgeBitmap,
+    ranks: np.ndarray,
+    loads: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+) -> None:
+    """Vectorized ``max_known`` cap for a batch of packed rows.
+
+    The loop engine trims after every merge; here the cap is enforced
+    once per round after all of the round's merges — the same cap, a
+    statistically equivalent survivor set.
+    """
+    cap = config.max_known
+    if cap is None or ranks.size == 0:
+        return
+    counts = _popcount(know.packed[ranks]).sum(axis=1, dtype=np.int64)
+    over = ranks[counts > cap]
+    if over.size == 0:
+        return
+    bools = np.unpackbits(know.packed[over], axis=1, count=know.n_ranks).view(bool)
+    if config.trim_policy == "lowest":
+        keys = np.where(bools, loads[None, :], np.inf)
+        keep = np.argsort(keys, axis=1, kind="stable")[:, :cap]
+    else:
+        keys = rng.random(bools.shape)
+        keys[~bools] = np.inf
+        keep = np.argpartition(keys, cap, axis=1)[:, :cap]
+    trimmed = np.zeros(bools.shape, dtype=np.uint8)
+    np.put_along_axis(trimmed, keep, 1, axis=1)
+    know.packed[over] = np.packbits(trimmed, axis=1)
+
+
+def _run_coalesced_batched(
+    know: PackedKnowledgeBitmap,
+    seeds: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+    result: GossipResult,
+) -> None:
+    """Round-level vectorized engine (``engine="batched"``).
+
+    Per round: build every sender's packed candidate mask, sample the
+    whole round's fan-out in one pass, account all messages with array
+    reductions, and apply all merges as one sorted scatter-OR
+    (``bitwise_or.reduceat`` over the gathered round matrix). The
+    gathered sender rows double as the round's send buffer, replacing
+    the loop engine's full boolean snapshot copy — at 4096 ranks that
+    is 2 MB of packed rows per round instead of 16 MB.
+    """
+    n_ranks = know.n_ranks
+    fanout = config.fanout
+    rpn = config.ranks_per_node
+    #: All-ones candidate template with the padding bits already clear.
+    template = np.packbits(np.ones(n_ranks, dtype=bool))
+    pad_mask = template[-1]
+    biased = config.intra_node_bias > 0.0 and rpn > 1
+    if biased:
+        node_of = np.arange(n_ranks) // rpn
+        n_nodes = int(node_of[-1]) + 1
+        node_masks = np.zeros((n_nodes, know.n_bytes), dtype=np.uint8)
+        for node in range(n_nodes):
+            node_masks[node] = np.packbits(node_of == node)
+
+    senders = seeds.astype(np.int64)
+    initiating = True
+    for _round in range(1, config.rounds + 1):
+        result.per_round_messages.append(0)
+        result.per_round_senders.append(int(senders.size))
+        # Gathering the sender rows copies them: this is the round's
+        # double buffer — payloads come from `snap`, merges land in
+        # `know.packed`, so same-round merges never leak into payloads.
+        snap = know.packed[senders]
+        entries = _popcount(snap).sum(axis=1, dtype=np.int64)
+        if initiating or not config.avoid_known:
+            # Alg. 1 l.10: the seeding round samples from all of P
+            # (minus self); without avoid_known every round does.
+            cand = np.repeat(template[None, :], senders.size, axis=0)
+            counts = np.full(senders.size, n_ranks - 1, dtype=np.int64)
+        else:
+            cand = ~snap
+            cand[:, -1] &= pad_mask
+            # |P \ S^p \ {p}| without a second popcount: subtract |S^p|
+            # (= `entries`, needed for accounting anyway) and the self
+            # bit when it is not already a member of S^p.
+            knows_self = (
+                snap[np.arange(senders.size), senders >> 3]
+                & (np.uint8(128) >> (senders & 7).astype(np.uint8))
+            ) != 0
+            counts = n_ranks - entries - (~knows_self)
+        _clear_bits(cand, np.arange(senders.size), senders)
+
+        want = np.minimum(fanout, counts)
+        if biased:
+            local_cand = cand & node_masks[node_of[senders]]
+            local_counts = _popcount(local_cand).sum(axis=1, dtype=np.int64)
+            n_local = np.minimum(
+                rng.binomial(want, config.intra_node_bias), local_counts
+            )
+            row_l, tgt_l = _sample_packed_rows(
+                rng, local_cand, local_counts, n_local, n_ranks
+            )
+            # Remove the local picks from the global pool, then fill the
+            # remaining slots from it.
+            _clear_bits(cand, row_l, tgt_l)
+            picked = np.bincount(row_l, minlength=senders.size)
+            row_g, tgt_g = _sample_packed_rows(
+                rng, cand, counts - picked, want - picked, n_ranks
+            )
+            row_idx = np.concatenate((row_l, row_g))
+            targets = np.concatenate((tgt_l, tgt_g))
+        else:
+            row_idx, targets = _sample_packed_rows(rng, cand, counts, want, n_ranks)
+
+        if targets.size == 0:
+            break
+        # Accounting for the whole round in one pass.
+        n = int(targets.size)
+        result.n_messages += n
+        result.bytes_sent += n * HEADER_BYTES + ENTRY_BYTES * int(
+            entries[row_idx].sum()
+        )
+        result.per_round_messages[-1] = n
+        result.inter_node_messages += int(
+            np.count_nonzero(targets // rpn != senders[row_idx] // rpn)
+        )
+        # All merges at once: group messages by target, then scatter-OR
+        # one "j-th message per receiver" layer at a time — each layer
+        # touches every receiver at most once, so a plain fancy-indexed
+        # |= applies a whole layer in one vectorized pass (grouped-OR
+        # via reduceat walks bytes one at a time and is ~10x slower).
+        order = np.argsort(targets, kind="stable")
+        targets_sorted = targets[order]
+        sources_sorted = row_idx[order]
+        receivers, starts = np.unique(targets_sorted, return_index=True)
+        group_sizes = np.diff(np.append(starts, targets_sorted.size))
+        for j in range(int(group_sizes.max())):
+            layer = group_sizes > j
+            idx = starts[layer] + j
+            know.packed[targets_sorted[idx]] |= snap[sources_sorted[idx]]
+        _trim_rows_packed(know, receivers, result.load_snapshot, config, rng)
+        initiating = False
+        senders = receivers
+        if senders.size == 0:  # pragma: no cover - targets imply receivers
+            break
+
+
 def _run_per_message(
     know: KnowledgeBitmap,
     seeds: np.ndarray,
@@ -340,7 +727,7 @@ def _run_per_message(
     # Wave of in-flight messages: (target, payload_row, round_index).
     wave: list[tuple[int, np.ndarray, int]] = []
     result.per_round_messages.append(0)
-    result.rounds_run = 1
+    result.per_round_senders.append(int(seeds.size))
     for sender in seeds:
         candidates = all_ranks[all_ranks != sender]
         for target in _sample_targets(rng, candidates, config.fanout, int(sender), config):
@@ -355,18 +742,21 @@ def _run_per_message(
     while wave:
         next_wave: list[tuple[int, np.ndarray, int]] = []
         result.per_round_messages.append(0)
+        forwarders: set[int] = set()
         for target, payload, round_index in wave:
             know.merge(target, payload)
             _trim_knowledge(know.rows[target], result.load_snapshot, config, rng)
             if round_index < config.rounds:
-                result.rounds_run = max(result.rounds_run, round_index + 1)
                 candidates = (
                     know.unknown_targets(target)
                     if config.avoid_known
                     else all_ranks[all_ranks != target]
                 )
+                sampled = _sample_targets(rng, candidates, config.fanout, int(target), config)
+                if sampled.size:
+                    forwarders.add(int(target))
                 forwarded = know.rows[target].copy()
-                for nxt in _sample_targets(rng, candidates, config.fanout, int(target), config):
+                for nxt in sampled:
                     next_wave.append((int(nxt), forwarded, round_index + 1))
                     _record_send(result, int(forwarded.sum()), int(target), int(nxt), config)
                     if result.n_messages > config.max_messages:
@@ -374,6 +764,5 @@ def _run_per_message(
                             f"per_message gossip exceeded {config.max_messages} "
                             "messages; use mode='coalesced' or reduce fanout/rounds"
                         )
+        result.per_round_senders.append(len(forwarders))
         wave = next_wave
-    if result.per_round_messages and result.per_round_messages[-1] == 0:
-        result.per_round_messages.pop()

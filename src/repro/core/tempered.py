@@ -56,6 +56,9 @@ class TemperedConfig:
     cmf_update: str = CMF_UPDATE_INCREMENTAL  #: l.7 maintenance (see cmf.py)
     ordering: str = ORDER_FEWEST_MIGRATIONS
     gossip_mode: str = "coalesced"
+    #: Inform-stage engine: "batched" (vectorized rounds on packed
+    #: knowledge, the fast path) or "loop" (per-sender reference).
+    gossip_engine: str = "batched"
     view: str = "snapshot"  #: transfer-stage load visibility (see transfer.py)
     max_passes: int | None = 1  #: task-list passes per rank per stage
     cascade: bool = False  #: re-process ranks overloaded mid-stage
@@ -80,6 +83,7 @@ class TemperedConfig:
             fanout=self.fanout,
             rounds=self.rounds,
             mode=self.gossip_mode,
+            engine=self.gossip_engine,
             max_known=self.max_known,
         )
 

@@ -2,9 +2,13 @@
 
 Four timed paths, mirroring where an LB episode actually spends time:
 
-``inform``
-    One full inform stage (Alg. 1, coalesced) — knowledge merges and
-    target sampling.
+``inform/loop`` vs ``inform/batched``
+    One full inform stage (Alg. 1, coalesced) under both engines: the
+    per-sender reference loop on boolean knowledge and the
+    round-vectorized fast path on packed knowledge. Their ratio is the
+    headline speedup of this optimization; both must obey the
+    ``f x |senders|`` message model and land statistically equivalent
+    coverage.
 ``transfer/rebuild`` vs ``transfer/incremental``
     One transfer stage (Alg. 2) with CMF recomputation per accepted
     transfer, under both maintenance strategies. Their ratio is the
@@ -94,24 +98,42 @@ def run_benchmarks(
     )
     results: list[BenchResult] = []
 
-    # -- inform stage -------------------------------------------------------
-    def bench_inform():
-        return run_inform_stage(
-            loads,
-            GossipConfig(),
-            np.random.default_rng(seed + 1),
-            average_load=dist.average_load,
-        )
+    # -- inform stage: per-sender loop reference vs batched fast path -------
+    inform_secs: dict[str, float] = {}
+    inform = None
+    for engine in ("loop", "batched"):
 
-    secs, inform = _time_best(bench_inform, repeats)
-    results.append(
-        BenchResult(
-            "inform",
-            secs,
-            repeats,
-            {"messages": inform.n_messages, "coverage": float(inform.coverage())},
+        def bench_inform(engine=engine):
+            return run_inform_stage(
+                loads,
+                GossipConfig(engine=engine),
+                np.random.default_rng(seed + 1),
+                average_load=dist.average_load,
+            )
+
+        secs, stage = _time_best(bench_inform, repeats)
+        inform_secs[engine] = secs
+        if engine == "batched":
+            inform = stage  # feeds the transfer benchmarks below
+        results.append(
+            BenchResult(
+                f"inform/{engine}",
+                secs,
+                repeats,
+                {
+                    "messages": stage.n_messages,
+                    "coverage": float(stage.coverage()),
+                    # f * |senders| messages every round (candidate sets
+                    # never run dry at bench scale) — the model both
+                    # engines must satisfy for the comparison to be
+                    # work-for-work.
+                    "message_model_exact": all(
+                        m == stage.per_round_senders[i] * GossipConfig().fanout
+                        for i, m in enumerate(stage.per_round_messages)
+                    ),
+                },
+            )
         )
-    )
 
     # -- transfer stage: full-rebuild reference vs incremental fast path ----
     transfer_secs: dict[str, float] = {}
@@ -203,6 +225,7 @@ def run_benchmarks(
     )
 
     speedups = {
+        "inform_batched_vs_loop": inform_secs["loop"] / inform_secs["batched"],
         "transfer_incremental_vs_rebuild": (
             transfer_secs[CMF_UPDATE_REBUILD] / transfer_secs[CMF_UPDATE_INCREMENTAL]
         ),

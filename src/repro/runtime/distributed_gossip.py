@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.gossip import ENTRY_BYTES, HEADER_BYTES, GossipResult
-from repro.core.knowledge import KnowledgeBitmap
+from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
 from repro.sim.process import Process, System
 from repro.sim.rng import RankStreams
 from repro.sim.termination import SafraDetector
@@ -37,7 +37,7 @@ _gossip_counter = 0
 class GossipOutcome:
     """Result of one event-level inform stage."""
 
-    knowledge: KnowledgeBitmap
+    knowledge: KnowledgeBitmap | PackedKnowledgeBitmap
     underloaded: np.ndarray
     load_snapshot: np.ndarray
     average_load: float
@@ -69,6 +69,7 @@ class DistributedGossip:
         fanout: int = 6,
         rounds: int = 10,
         streams: RankStreams | None = None,
+        packed: bool = True,
     ) -> None:
         check_positive("fanout", fanout)
         check_positive("rounds", rounds)
@@ -82,6 +83,11 @@ class DistributedGossip:
         self.fanout = int(fanout)
         self.rounds = int(rounds)
         self.streams = streams or RankStreams(system.n_ranks, seed=0)
+        #: Knowledge representation: bit-packed rows (P^2/8 bytes, the
+        #: default) or the boolean reference matrix. The message-level
+        #: protocol exchanges rank-id arrays either way, so the choice
+        #: never affects traffic or RNG consumption.
+        self.packed = bool(packed)
 
     def run(self) -> GossipOutcome:
         """Execute the inform stage to quiescence; advances the clock."""
@@ -94,7 +100,7 @@ class DistributedGossip:
         counters = {"messages": 0, "bytes": 0}
 
         underloaded = self.loads < self.average_load
-        know = KnowledgeBitmap(n)
+        know = PackedKnowledgeBitmap(n) if self.packed else KnowledgeBitmap(n)
         seeds = np.flatnonzero(underloaded)
         know.add_self(seeds)
         #: Rounds already forwarded per rank (coalescing guard).

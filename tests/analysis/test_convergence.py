@@ -47,8 +47,11 @@ class TestAnalyzeConvergence:
         dist = paper_analysis_scenario(n_tasks=600, n_loaded_ranks=4, n_ranks=128, seed=0)
         orig = criterion_study(dist, "original", n_iters=8, rng=1)
         relax = criterion_study(dist, "relaxed", n_iters=8, rng=1)
-        s_orig = analyze_convergence(orig.imbalances(), stall_tol=0.02)
-        s_relax = analyze_convergence(relax.imbalances(), stall_tol=0.02)
+        # 5% relative tolerance: the original criterion's tail wobbles
+        # a few percent per iteration without real progress, and where
+        # exactly it freezes is seed- and engine-sensitive.
+        s_orig = analyze_convergence(orig.imbalances(), stall_tol=0.05)
+        s_relax = analyze_convergence(relax.imbalances(), stall_tol=0.05)
         assert s_relax.decay_rate < s_orig.decay_rate
         assert s_relax.improvement > s_orig.improvement
         # The original criterion freezes at a high value; "stalled" for

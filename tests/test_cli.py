@@ -189,9 +189,15 @@ class TestBench:
         payload = json.loads(out_file.read_text())
         assert payload["meta"]["quick"] is True
         names = {b["name"] for b in payload["benchmarks"]}
-        assert {"inform", "transfer/rebuild", "transfer/incremental"} <= names
+        assert {
+            "inform/loop",
+            "inform/batched",
+            "transfer/rebuild",
+            "transfer/incremental",
+        } <= names
         assert payload["equivalent_transfers"] is True
         assert payload["speedups"]["transfer_incremental_vs_rebuild"] > 0
+        assert payload["speedups"]["inform_batched_vs_loop"] > 0
 
     def test_dash_skips_json(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
