@@ -37,6 +37,33 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_executor_flags(
+    p: argparse.ArgumentParser, executor_default: str | None = None
+) -> None:
+    """``--workers`` / ``--executor``: trial-parallelism knobs.
+
+    Exposed on every subcommand that runs TemperedLB refinement trials
+    (and on ``bench``, where they parameterize the refinement case).
+    The backend never changes results — per-trial RNG streams make the
+    output bit-identical for any worker count — only wall time.
+    """
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel refinement-trial workers (default: serial trial loop)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default=executor_default,
+        help=(
+            "trial executor backend (default: auto — process where a "
+            "second core and fork exist, else serial)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -67,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--particles", type=int, default=10_000)
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--iters", type=int, default=6)
+    _add_executor_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", type=str, default=None)
 
@@ -104,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phases", type=int, default=4)
     p.add_argument("--trials", type=int, default=2)
     p.add_argument("--iters", type=int, default=4)
+    _add_executor_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", type=str, default=None)
     p.add_argument("--csv", type=str, default=None)
@@ -113,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="CI-smoke scale instead of the § V scale"
     )
     p.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    _add_executor_flags(p, executor_default="auto")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--json",
@@ -207,6 +237,8 @@ def _cmd_empire(args: argparse.Namespace) -> int:
         injection_per_step=max(args.particles // 100, 1),
         n_trials=args.trials,
         n_iters=args.iters,
+        n_workers=args.workers,
+        executor=args.executor,
         seed=args.seed,
     )
     run = run_empire(base)
@@ -334,7 +366,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.balancer == "grapevine":
         lb = GrapevineLB(n_iters=args.iters)
     else:
-        lb = TemperedLB(n_trials=args.trials, n_iters=args.iters)
+        lb = TemperedLB(
+            n_trials=args.trials,
+            n_iters=args.iters,
+            n_workers=args.workers,
+            executor=args.executor,
+        )
     lb.instrument(registry)
 
     # A drifting hotspot gives each phase a different imbalance profile,
@@ -363,7 +400,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.io import save_json
     from repro.perf import format_report, run_benchmarks
 
-    payload = run_benchmarks(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    payload = run_benchmarks(
+        quick=args.quick,
+        repeats=args.repeats,
+        seed=args.seed,
+        workers=args.workers,
+        executor=args.executor or "auto",
+    )
     print(format_report(payload))
     if args.json and args.json != "-":
         save_json(payload, args.json)

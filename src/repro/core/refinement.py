@@ -12,16 +12,26 @@ Trials are independent, so they can run concurrently. With
 ``n_workers`` set, each trial draws from its own spawned RNG stream
 (:func:`repro.util.parallel.spawn_streams`) and records into its own
 sub-registry; streams are derived from the parent generator before any
-work starts and sub-registries merge in trial order, so the refined
-assignment and all recorded statistics are bit-identical for any worker
-count >= 1. ``n_workers=None`` (the default) keeps the historical
-serial semantics: one shared RNG stream consumed trial after trial.
+work starts, results merge in trial order, and ties on the best
+imbalance resolve to the lowest trial index — so the refined assignment
+and all recorded statistics are bit-identical for any worker count >= 1
+under **any** backend. The ``executor`` knob selects that backend
+(``serial`` / ``thread`` / ``process``; see
+:class:`repro.util.parallel.TrialExecutor`). The trial loop is
+GIL-bound Python/NumPy, so only the process backend — the ``auto``
+default where ``fork`` is available — turns extra cores into wall-clock
+speedup; the shared read-only inputs (task loads, the original
+assignment, the stage configs) ship to each worker once via the pool
+initializer, and only the per-trial RNG payloads and
+:class:`_TrialOutcome` results cross the IPC boundary.
+
+``n_workers=None`` (the default) keeps the historical serial semantics:
+one shared RNG stream consumed trial after trial.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +42,7 @@ from repro.core.gossip import GossipConfig, run_inform_stage
 from repro.core.metrics import imbalance
 from repro.core.transfer import TransferConfig, transfer_stage
 from repro.obs import StatsRegistry
-from repro.util.parallel import spawn_streams
+from repro.util.parallel import TrialExecutor, spawn_streams
 from repro.util.validation import check_positive, coerce_rng
 
 __all__ = ["RefinementResult", "iterative_refinement"]
@@ -56,13 +66,38 @@ class RefinementResult:
 
 @dataclass
 class _TrialOutcome:
-    """One trial's iteration rows and trial-local best proposal."""
+    """One trial's iteration rows and trial-local best proposal.
+
+    Everything here is plain data (dataclass rows, floats, arrays), so
+    an outcome pickles losslessly — the process backend ships one back
+    per trial.
+    """
 
     records: list[IterationRecord] = field(default_factory=list)
     best_imbalance: float = float("inf")
     best_assignment: np.ndarray | None = None
     gossip_messages: int = 0
     gossip_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class _TrialShared:
+    """Read-only inputs every trial needs, shipped to workers once.
+
+    Under the process backend this object crosses into each worker a
+    single time via the pool initializer (inherited copy-on-write with
+    the ``fork`` start method, pickled once per worker under
+    ``spawn``) — per-trial submissions carry only the trial number and
+    its RNG stream.
+    """
+
+    dist: Distribution
+    original: np.ndarray
+    l_ave: float
+    n_iters: int
+    gossip: GossipConfig
+    transfer: TransferConfig
+    instrumented: bool
 
 
 def _run_trial(
@@ -78,8 +113,8 @@ def _run_trial(
 ) -> _TrialOutcome:
     """Run one trial (Alg. 3 l.3-12) against a private working copy.
 
-    Thread-safe given a private ``rng`` and ``registry``: the shared
-    inputs (``dist``, ``original``, configs) are only read.
+    Safe to run concurrently given a private ``rng`` and ``registry``:
+    the shared inputs (``dist``, ``original``, configs) are only read.
     """
     instrumented = registry is not None and registry.enabled
     working = np.array(original, copy=True)  # Alg. 3 l.3: reset per trial
@@ -136,6 +171,51 @@ def _run_trial(
     return out
 
 
+def _trial_worker(
+    shared: _TrialShared, payload: tuple[int, np.random.Generator]
+) -> tuple[_TrialOutcome, StatsRegistry | None]:
+    """Executor entry point: run one trial against the shared inputs.
+
+    Module-level (and therefore picklable) so every
+    :class:`~repro.util.parallel.TrialExecutor` backend — including
+    process pools under the ``spawn`` start method — can dispatch it.
+    The sub-registry is created *here*, inside the worker, and returned
+    with the outcome; the caller merges sub-registries in trial order.
+    """
+    trial, rng = payload
+    registry = StatsRegistry() if shared.instrumented else None
+    outcome = _run_trial(
+        trial,
+        shared.dist,
+        shared.original,
+        shared.l_ave,
+        shared.n_iters,
+        shared.gossip,
+        shared.transfer,
+        rng,
+        registry,
+    )
+    return outcome, registry
+
+
+def _select_best(result: RefinementResult, outcomes: list[_TrialOutcome]) -> None:
+    """Fold trial outcomes into ``result`` in trial order (Alg. 3 l.13).
+
+    The strict ``<`` comparison is the tie-breaking rule: when two
+    trials reach an equal best imbalance, the *lowest trial index*
+    keeps the win. Outcomes always arrive in trial order (the executor
+    preserves submission order), so this rule holds for every backend
+    and worker count.
+    """
+    for out in outcomes:
+        result.records.extend(out.records)
+        result.total_gossip_messages += out.gossip_messages
+        result.total_gossip_bytes += out.gossip_bytes
+        if out.best_assignment is not None and out.best_imbalance < result.best_imbalance:
+            result.best_imbalance = out.best_imbalance
+            result.best_assignment = out.best_assignment
+
+
 def iterative_refinement(
     dist: Distribution,
     n_trials: int = 1,
@@ -145,6 +225,7 @@ def iterative_refinement(
     rng: np.random.Generator | int | None = None,
     registry: StatsRegistry | None = None,
     n_workers: int | None = None,
+    executor: str | None = None,
 ) -> RefinementResult:
     """Run Algorithm 3 and return the best proposal.
 
@@ -157,14 +238,23 @@ def iterative_refinement(
     paper's § V-B/§ V-D tables — the inform/transfer stages record
     their own counters, and the stages' wall time accumulates into the
     ``wall.inform`` / ``wall.transfer`` / ``wall.refinement`` timers.
-    Instrumentation draws no RNG, so the refined assignment is identical
-    with or without it.
+    ``wall.inform``/``wall.transfer`` are *cumulative per-trial* stage
+    time; ``wall.refinement`` is the true start-to-finish span of this
+    call, so under parallel execution the stage timers can legitimately
+    exceed it (see ``docs/observability.md``). Instrumentation draws no
+    RNG, so the refined assignment is identical with or without it.
 
-    ``n_workers`` selects the execution model: ``None`` keeps the
-    historical serial semantics (one RNG stream shared across trials);
-    an integer >= 1 runs trials on that many threads with per-trial
-    spawned streams — results are then bit-identical for every worker
-    count, but differ from the shared-stream serial walk.
+    ``n_workers`` / ``executor`` select the execution model:
+
+    - ``n_workers=None, executor=None`` — the historical serial
+      semantics: one RNG stream shared across trials.
+    - ``n_workers >= 1`` — per-trial spawned streams, dispatched by a
+      :class:`~repro.util.parallel.TrialExecutor`. ``executor`` picks
+      the backend (``"serial"``, ``"thread"``, ``"process"``, or
+      ``None``/``"auto"`` which prefers the process backend); results
+      are bit-identical for every backend and worker count, but differ
+      from the shared-stream serial walk. Passing ``executor`` alone
+      implies ``n_workers=1``.
     """
     check_positive("n_trials", n_trials)
     check_positive("n_iters", n_iters)
@@ -184,7 +274,7 @@ def iterative_refinement(
 
     instrumented = registry is not None and registry.enabled
     wall_start = time.perf_counter()
-    if n_workers is None:
+    if n_workers is None and executor is None:
         outcomes = [
             _run_trial(
                 trial, dist, original, l_ave, n_iters, gossip, transfer, rng, registry
@@ -192,43 +282,30 @@ def iterative_refinement(
             for trial in range(1, int(n_trials) + 1)
         ]
     else:
+        if n_workers is None:
+            n_workers = 1
         check_positive("n_workers", n_workers)
         streams = spawn_streams(rng, int(n_trials))
-        sub_registries: list[StatsRegistry | None] = [
-            StatsRegistry() if instrumented else None for _ in range(int(n_trials))
-        ]
-        with ThreadPoolExecutor(
-            max_workers=min(int(n_workers), int(n_trials))
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _run_trial,
-                    trial + 1,
-                    dist,
-                    original,
-                    l_ave,
-                    n_iters,
-                    gossip,
-                    transfer,
-                    streams[trial],
-                    sub_registries[trial],
-                )
-                for trial in range(int(n_trials))
-            ]
-            outcomes = [f.result() for f in futures]
+        shared = _TrialShared(
+            dist=dist,
+            original=original,
+            l_ave=l_ave,
+            n_iters=int(n_iters),
+            gossip=gossip,
+            transfer=transfer,
+            instrumented=instrumented,
+        )
+        pool = TrialExecutor(executor, min(int(n_workers), int(n_trials)))
+        payloads = [(trial + 1, streams[trial]) for trial in range(int(n_trials))]
+        pairs = pool.map(_trial_worker, payloads, shared)
+        outcomes = [outcome for outcome, _ in pairs]
         if instrumented:
             # Merge in trial order regardless of completion order, so
             # recorded series are identical for any worker count.
-            for sub in sub_registries:
+            for _, sub in pairs:
                 registry.merge(sub)  # type: ignore[arg-type]
 
-    for out in outcomes:
-        result.records.extend(out.records)
-        result.total_gossip_messages += out.gossip_messages
-        result.total_gossip_bytes += out.gossip_bytes
-        if out.best_assignment is not None and out.best_imbalance < result.best_imbalance:
-            result.best_imbalance = out.best_imbalance
-            result.best_assignment = out.best_assignment
+    _select_best(result, outcomes)
 
     if instrumented:
         registry.add_time("wall.refinement", time.perf_counter() - wall_start)

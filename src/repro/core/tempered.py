@@ -30,6 +30,7 @@ from repro.core.gossip import GossipConfig
 from repro.core.ordering import ORDER_FEWEST_MIGRATIONS
 from repro.core.refinement import iterative_refinement
 from repro.core.transfer import TransferConfig
+from repro.util.parallel import EXECUTORS
 from repro.util.validation import check_positive, coerce_rng
 
 __all__ = ["TemperedConfig", "TemperedLB"]
@@ -65,13 +66,23 @@ class TemperedConfig:
     nacks: bool = False  #: recipient-side vetoes (Menon's mechanism, § V-A)
     max_known: int | None = None  #: knowledge cap (limited-info gossip)
     #: Trial-level parallelism: None = historical serial semantics (one
-    #: shared RNG stream); >= 1 = that many worker threads with spawned
+    #: shared RNG stream); >= 1 = that many workers with spawned
     #: per-trial streams (bit-identical for any worker count >= 1).
     n_workers: int | None = None
+    #: Trial executor backend: "serial" / "thread" / "process", or
+    #: None / "auto" to prefer the process backend (the one that beats
+    #: serial on multi-core hosts — threads are GIL-bound here),
+    #: degrading to the serial loop where only one core is usable. The
+    #: backend never changes results, only wall time.
+    executor: str | None = None
 
     def __post_init__(self) -> None:
         check_positive("n_trials", self.n_trials)
         check_positive("n_iters", self.n_iters)
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS} or None, got {self.executor!r}"
+            )
         # fanout/rounds/threshold and the categorical knobs are validated
         # by the GossipConfig / TransferConfig they parameterize.
         self.gossip_config()
@@ -144,6 +155,7 @@ class TemperedLB(LoadBalancer):
             rng=rng,
             registry=self.registry,
             n_workers=self.config.n_workers,
+            executor=self.config.executor,
         )
         return self._make_result(
             dist,

@@ -71,6 +71,11 @@ class EmpireConfig:
     #: "structured" (the calibrated benchmark mesh) or "unstructured"
     #: (Delaunay triangulation, § VI-A's real mesh type).
     mesh_type: str = "structured"
+    #: TemperedLB trial parallelism (None = serial trial loop) and the
+    #: executor backend ("serial"/"thread"/"process"/"auto"/None); the
+    #: backend changes wall time only, never the refined assignment.
+    n_workers: int | None = None
+    executor: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -155,6 +160,8 @@ def _make_balancer(config: EmpireConfig) -> LoadBalancer | None:
             fanout=config.fanout,
             rounds=config.rounds,
             ordering=config.ordering,
+            n_workers=config.n_workers,
+            executor=config.executor,
         )
     )
 

@@ -116,6 +116,25 @@ class StatsRegistry:
 
     # -- combination / serialization ---------------------------------------
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle via the JSON snapshot, the registry's stable format.
+
+        Sub-registries cross process boundaries in the parallel-trials
+        path (``repro.core.refinement`` with the process executor), so
+        the pickle payload is pinned to :meth:`to_dict` /
+        :meth:`from_dict` — adding an unpicklable field to the class
+        later cannot silently break worker round-trips.
+        """
+        return self.to_dict()
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        restored = StatsRegistry.from_dict(state)
+        self.counters = restored.counters
+        self.gauges = restored.gauges
+        self.series = restored.series
+        self.timers = restored.timers
+        self.events = restored.events
+
     def merge(self, other: "StatsRegistry") -> "StatsRegistry":
         """Fold ``other`` into this registry; returns ``self``.
 

@@ -205,3 +205,73 @@ class TestBench:
         assert code == 0
         assert "perf bench" in capsys.readouterr().out
         assert not (tmp_path / "BENCH_perf.json").exists()
+
+    def test_workers_and_executor_flags(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--repeats",
+                "1",
+                "--workers",
+                "2",
+                "--executor",
+                "thread",
+                "--json",
+                str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refinement utilization" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["meta"]["cpu_count"] >= 1
+        refinement = payload["refinement_parallel"]
+        assert refinement["executor"] == "thread"
+        assert refinement["n_workers"] == 2
+        assert refinement["stage_wall_seconds"] > 0
+        by_name = {b["name"]: b for b in payload["benchmarks"]}
+        assert by_name["refinement/serial"]["executor"] == "serial"
+        assert by_name["refinement/parallel"]["executor"] == "thread"
+
+
+class TestExecutorFlags:
+    def test_parser_accepts_workers_and_executor(self):
+        for command in (
+            ["stats", "--workers", "2", "--executor", "process"],
+            ["empire", "--workers", "4", "--executor", "thread"],
+            ["bench", "--workers", "2", "--executor", "serial"],
+        ):
+            args = build_parser().parse_args(command)
+            assert args.workers in (2, 4)
+            assert args.executor in ("serial", "thread", "process")
+
+    def test_parser_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--executor", "gpu"])
+
+    def test_stats_runs_with_process_executor(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--tasks",
+                "200",
+                "--ranks",
+                "16",
+                "--phases",
+                "1",
+                "--trials",
+                "2",
+                "--iters",
+                "1",
+                "--workers",
+                "2",
+                "--executor",
+                "process",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lb.iteration" in out
+        assert "wall.refinement" in out
