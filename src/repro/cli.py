@@ -64,6 +64,42 @@ def _add_executor_flags(
     )
 
 
+def _add_fault_flags(p: argparse.ArgumentParser, churn: bool = False) -> None:
+    """``--loss-rate`` / ``--fault-seed`` (and optionally ``--churn``):
+    fault-injection knobs. Loss of 0 (the default) is bit-identical to
+    the build without the fault layer."""
+    p.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="per-message gossip drop probability (default 0 = lossless)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault RNG streams (independent of --seed)",
+    )
+    if churn:
+        p.add_argument(
+            "--churn",
+            type=str,
+            default=None,
+            help="membership churn spec: action:rank@time[,...] "
+            "(e.g. crash:3@2e-3,restart:3@4e-3)",
+        )
+
+
+def _parse_fault_config(args: argparse.Namespace):
+    """A FaultConfig from CLI flags, or None when every knob is off."""
+    from repro.sim.faults import FaultConfig, parse_churn
+
+    churn = parse_churn(args.churn) if getattr(args, "churn", None) else ()
+    if args.loss_rate <= 0.0 and not churn:
+        return None
+    return FaultConfig(loss_rate=args.loss_rate, seed=args.fault_seed, churn=churn)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -95,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=1)
     p.add_argument("--iters", type=int, default=6)
     _add_executor_flags(p)
+    _add_fault_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", type=str, default=None)
 
@@ -102,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=64)
     p.add_argument("--fanout", type=int, default=4)
     p.add_argument("--rounds", type=int, default=6)
+    _add_fault_flags(p, churn=True)
     p.add_argument("--json", type=str, default=None)
 
     p = sub.add_parser("sweep", help="run a declarative sweep from a JSON spec file")
@@ -133,22 +171,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=2)
     p.add_argument("--iters", type=int, default=4)
     _add_executor_flags(p)
+    _add_fault_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", type=str, default=None)
     p.add_argument("--csv", type=str, default=None)
 
-    p = sub.add_parser("bench", help="hot-path microbenchmarks -> BENCH_perf.json")
+    p = sub.add_parser(
+        "bench", help="benchmark suites -> BENCH_perf.json / BENCH_faults.json"
+    )
+    p.add_argument(
+        "suite",
+        nargs="?",
+        choices=["perf", "faults"],
+        default="perf",
+        help="perf = hot-path timings (default); faults = imbalance "
+        "degradation vs gossip loss rate",
+    )
     p.add_argument(
         "--quick", action="store_true", help="CI-smoke scale instead of the § V scale"
     )
     p.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
     _add_executor_flags(p, executor_default="auto")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault-seed", type=int, default=0)
     p.add_argument(
         "--json",
         type=str,
-        default="BENCH_perf.json",
-        help="output path (default BENCH_perf.json; '-' to skip writing)",
+        default=None,
+        help="output path (default BENCH_<suite>.json; '-' to skip writing)",
     )
 
     sub.add_parser("version", help="print the package version")
@@ -239,6 +289,8 @@ def _cmd_empire(args: argparse.Namespace) -> int:
         n_iters=args.iters,
         n_workers=args.workers,
         executor=args.executor,
+        loss_rate=args.loss_rate,
+        fault_seed=args.fault_seed,
         seed=args.seed,
     )
     run = run_empire(base)
@@ -260,10 +312,12 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
     from repro.analysis import format_rows
     from repro.analysis.io import save_json
     from repro.runtime.distributed_gossip import DistributedGossip
+    from repro.sim.faults import FaultyLink, HeartbeatFailureDetector
     from repro.sim.process import System
     from repro.sim.reductions import allreduce
 
     n = args.ranks
+    fault_cfg = _parse_fault_config(args)
     sys_ = System(n)
     times: dict[int, float] = {}
     allreduce(
@@ -275,10 +329,14 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
     sys_.run()
 
     sys2 = System(n)
+    link = detector = None
+    if fault_cfg is not None:
+        link = FaultyLink(sys2, fault_cfg)
+        detector = HeartbeatFailureDetector(sys2, fault_cfg)
     loads = np.ones(n)
     loads[: max(2, n // 16)] = 20.0
     gossip = DistributedGossip(
-        sys2, loads, fanout=args.fanout, rounds=args.rounds
+        sys2, loads, fanout=args.fanout, rounds=args.rounds, detector=detector
     ).run()
 
     rows = [
@@ -290,6 +348,10 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
             "coverage": gossip.knowledge.coverage(gossip.underloaded),
         }
     ]
+    if link is not None:
+        rows[0]["drops"] = link.drops
+        rows[0]["crashes"] = link.crashes
+        rows[0]["suspected"] = len(detector.suspected) if detector is not None else 0
     print(format_rows(rows, list(rows[0].keys())))
     if args.json:
         save_json(rows, args.json)
@@ -371,6 +433,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             n_iters=args.iters,
             n_workers=args.workers,
             executor=args.executor,
+            faults=_parse_fault_config(args),
         )
     lb.instrument(registry)
 
@@ -398,19 +461,30 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.io import save_json
-    from repro.perf import format_report, run_benchmarks
 
-    payload = run_benchmarks(
-        quick=args.quick,
-        repeats=args.repeats,
-        seed=args.seed,
-        workers=args.workers,
-        executor=args.executor or "auto",
-    )
-    print(format_report(payload))
-    if args.json and args.json != "-":
-        save_json(payload, args.json)
-        print(f"\n[saved to {args.json}]")
+    if args.suite == "faults":
+        from repro.perf import format_fault_report, run_fault_bench
+
+        payload = run_fault_bench(
+            quick=args.quick, seed=args.seed, fault_seed=args.fault_seed
+        )
+        print(format_fault_report(payload))
+        out = args.json if args.json is not None else "BENCH_faults.json"
+    else:
+        from repro.perf import format_report, run_benchmarks
+
+        payload = run_benchmarks(
+            quick=args.quick,
+            repeats=args.repeats,
+            seed=args.seed,
+            workers=args.workers,
+            executor=args.executor or "auto",
+        )
+        print(format_report(payload))
+        out = args.json if args.json is not None else "BENCH_perf.json"
+    if out and out != "-":
+        save_json(payload, out)
+        print(f"\n[saved to {out}]")
     return 0
 
 

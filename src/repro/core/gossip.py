@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
 from repro.obs import StatsRegistry
+from repro.sim.faults import FaultConfig, PhaseFaultModel
 from repro.util.validation import check_in, check_positive, coerce_rng
 
 __all__ = ["GossipConfig", "GossipResult", "GossipExplosionError", "run_inform_stage"]
@@ -100,6 +101,14 @@ class GossipConfig:
     #: per node = flat topology (the paper's algorithm).
     ranks_per_node: int = 1
     intra_node_bias: float = 0.0
+    #: Fault injection (:mod:`repro.sim.faults`): per-message loss,
+    #: round-unit delay spikes, duplication and optional retransmission
+    #: applied to every gossip message. None — or a config with no
+    #: active fault source — leaves both engines on their original code
+    #: path, bit for bit (zero-fault invisibility). The fault fates
+    #: draw from their own seeded generator, never from the engine's
+    #: sampling RNG.
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         check_positive("fanout", self.fanout)
@@ -132,6 +141,15 @@ class GossipResult:
     #: the f*|senders| message model checks against this. Filled by
     #: both coalesced engines; per_message counts distinct forwarders.
     per_round_senders: list[int] = field(default_factory=list)
+    #: Fault-injection accounting (all zero when no fault model ran):
+    #: messages lost, delivered late, duplicated, the retransmission
+    #: count behind recovered losses, and deliveries that matured after
+    #: the final round barrier and were discarded.
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    retransmits: int = 0
+    expired: int = 0
 
     def coverage(self) -> float:
         """Mean fraction of underloaded ranks known per rank."""
@@ -231,13 +249,30 @@ def run_inform_stage(
         return result
     know.add_self(seeds)
 
+    #: None when config.faults has no active fault source — the engines
+    #: then never branch on it and run their original code path.
+    model = PhaseFaultModel.create(config.faults)
     if config.mode == "per_message":
+        if model is not None:
+            raise ValueError("fault injection requires mode='coalesced'")
         _run_per_message(know, seeds, config, rng, result)  # type: ignore[arg-type]
     elif batched:
-        _run_coalesced_batched(know, seeds, config, rng, result)  # type: ignore[arg-type]
+        _run_coalesced_batched(know, seeds, config, rng, result, model)  # type: ignore[arg-type]
     else:
-        _run_coalesced(know, seeds, config, rng, result)  # type: ignore[arg-type]
+        _run_coalesced(know, seeds, config, rng, result, model)  # type: ignore[arg-type]
     _finalize_rounds(result)
+    if model is not None:
+        result.dropped = model.drops
+        result.delayed = model.delayed
+        result.duplicated = model.duplicates
+        result.retransmits = model.retransmits
+        result.expired = model.expired
+        if registry is not None and registry.enabled:
+            registry.inc("faults.gossip.dropped", model.drops)
+            registry.inc("faults.gossip.delayed", model.delayed)
+            registry.inc("faults.gossip.duplicated", model.duplicates)
+            registry.inc("faults.gossip.retransmits", model.retransmits)
+            registry.inc("faults.gossip.expired", model.expired)
     if registry is not None and registry.enabled:
         _record_inform_stage(registry, result)
     return result
@@ -338,12 +373,23 @@ def _run_coalesced(
     config: GossipConfig,
     rng: np.random.Generator,
     result: GossipResult,
+    model: PhaseFaultModel | None = None,
 ) -> None:
-    """Per-sender reference loop (``engine="loop"``)."""
+    """Per-sender reference loop (``engine="loop"``).
+
+    With a fault model, a message sent in round ``r`` whose fate is an
+    offset ``d`` matures in round ``r+d``: it merges *after* that
+    round's payload snapshot (a late message cannot ride the same
+    round's sends) and its receiver forwards in round ``r+d+1``.
+    Deliveries maturing past round ``k`` are discarded at the stage's
+    closing barrier and counted as expired.
+    """
     n_ranks = know.n_ranks
     all_ranks = np.arange(n_ranks)
     senders = seeds
     initiating = True
+    #: round -> [(target, payload_row)] deliveries still in flight.
+    pending: dict[int, list[tuple[int, np.ndarray]]] = {}
     for _round in range(1, config.rounds + 1):
         result.per_round_messages.append(0)
         result.per_round_senders.append(int(senders.size))
@@ -353,6 +399,12 @@ def _run_coalesced(
         # start, never merges from the same round.
         snapshot = know.rows[senders].copy()
         received = np.zeros(n_ranks, dtype=bool)
+        # Mature this round's late deliveries (after the snapshot, so
+        # they cannot leak into payloads sent this same round).
+        for target, payload in pending.pop(_round, ()):
+            know.merge(target, payload)
+            _trim_knowledge(know.rows[target], result.load_snapshot, config, rng)
+            received[target] = True
         for row, sender in zip(snapshot, senders):
             if initiating:
                 # Alg. 1 l.10: the seeding round samples from all of P
@@ -368,7 +420,25 @@ def _run_coalesced(
                 candidates = all_ranks[all_ranks != sender]
             targets = _sample_targets(rng, candidates, config.fanout, int(sender), config)
             entries = int(row.sum())
-            if config.max_known is None:
+            if model is not None:
+                # Logical sends are accounted in full; the fault fates
+                # then decide which copies reach their target and when.
+                _record_sends(result, entries, int(sender), targets, config)
+                offsets, copies = model.fates(int(targets.size))
+                for t, off, cp in zip(targets, offsets, copies):
+                    for copy_index in range(int(cp)):
+                        arrive = _round + int(off) + copy_index
+                        if arrive == _round:
+                            know.merge(int(t), row)
+                            _trim_knowledge(
+                                know.rows[int(t)], result.load_snapshot, config, rng
+                            )
+                            received[int(t)] = True
+                        elif arrive <= config.rounds:
+                            pending.setdefault(arrive, []).append((int(t), row))
+                        else:
+                            model.expired += 1
+            elif config.max_known is None:
                 # Whole fan-out at once: the payload row is fixed, the
                 # targets are distinct and no trim draws RNG, so this is
                 # exactly the sequential per-target merge.
@@ -386,7 +456,7 @@ def _run_coalesced(
                     _record_send(result, entries, int(sender), int(target), config)
         initiating = False
         senders = np.flatnonzero(received)
-        if senders.size == 0:
+        if senders.size == 0 and not pending:
             break
 
 
@@ -607,6 +677,7 @@ def _run_coalesced_batched(
     config: GossipConfig,
     rng: np.random.Generator,
     result: GossipResult,
+    model: PhaseFaultModel | None = None,
 ) -> None:
     """Round-level vectorized engine (``engine="batched"``).
 
@@ -634,6 +705,8 @@ def _run_coalesced_batched(
 
     senders = seeds.astype(np.int64)
     initiating = True
+    #: round -> [(targets array, payload-row matrix)] late deliveries.
+    pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
     for _round in range(1, config.rounds + 1):
         result.per_round_messages.append(0)
         result.per_round_senders.append(int(senders.size))
@@ -682,18 +755,65 @@ def _run_coalesced_batched(
         else:
             row_idx, targets = _sample_packed_rows(rng, cand, counts, want, n_ranks)
 
-        if targets.size == 0:
+        if targets.size == 0 and model is None:
             break
-        # Accounting for the whole round in one pass.
-        n = int(targets.size)
-        result.n_messages += n
-        result.bytes_sent += n * HEADER_BYTES + ENTRY_BYTES * int(
-            entries[row_idx].sum()
-        )
-        result.per_round_messages[-1] = n
-        result.inter_node_messages += int(
-            np.count_nonzero(targets // rpn != senders[row_idx] // rpn)
-        )
+        if targets.size:
+            # Accounting for the whole round in one pass.
+            n = int(targets.size)
+            result.n_messages += n
+            result.bytes_sent += n * HEADER_BYTES + ENTRY_BYTES * int(
+                entries[row_idx].sum()
+            )
+            result.per_round_messages[-1] = n
+            result.inter_node_messages += int(
+                np.count_nonzero(targets // rpn != senders[row_idx] // rpn)
+            )
+        if model is not None:
+            # Fault fates split the round's messages into immediate
+            # deliveries, future-round deliveries (delay/retransmit)
+            # and losses; deliveries maturing this round join the
+            # payloads that matured from earlier rounds (popped after
+            # the snapshot gather, so they cannot ride this round's
+            # sends) in one combined merge pass.
+            merge_parts = pending.pop(_round, [])
+            if targets.size:
+                offsets, copies = model.fates(int(targets.size))
+                arrive = _round + offsets
+                ok = copies > 0
+                dup = copies == 2
+                all_arrive = np.concatenate((arrive[ok], arrive[dup] + 1))
+                all_t = np.concatenate((targets[ok], targets[dup]))
+                all_src = np.concatenate((row_idx[ok], row_idx[dup]))
+                now_mask = all_arrive == _round
+                if now_mask.any():
+                    merge_parts.append((all_t[now_mask], snap[all_src[now_mask]]))
+                future = (all_arrive > _round) & (all_arrive <= config.rounds)
+                model.expired += int(np.count_nonzero(all_arrive > config.rounds))
+                for r in np.unique(all_arrive[future]):
+                    sel = future & (all_arrive == r)
+                    pending.setdefault(int(r), []).append(
+                        (all_t[sel], snap[all_src[sel]])
+                    )
+            if merge_parts:
+                merge_t = np.concatenate([t for t, _ in merge_parts])
+                merge_p = np.concatenate([p for _, p in merge_parts])
+                order = np.argsort(merge_t, kind="stable")
+                t_sorted = merge_t[order]
+                p_sorted = merge_p[order]
+                receivers, starts = np.unique(t_sorted, return_index=True)
+                group_sizes = np.diff(np.append(starts, t_sorted.size))
+                for j in range(int(group_sizes.max())):
+                    layer = group_sizes > j
+                    idx = starts[layer] + j
+                    know.packed[t_sorted[idx]] |= p_sorted[idx]
+                _trim_rows_packed(know, receivers, result.load_snapshot, config, rng)
+            else:
+                receivers = np.empty(0, dtype=np.int64)
+            initiating = False
+            senders = receivers
+            if senders.size == 0 and not pending:
+                break
+            continue
         # All merges at once: group messages by target, then scatter-OR
         # one "j-th message per receiver" layer at a time — each layer
         # touches every receiver at most once, so a plain fancy-indexed

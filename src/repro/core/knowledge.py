@@ -90,6 +90,17 @@ class KnowledgeBitmap:
         mask[rank] = False
         return np.flatnonzero(mask)
 
+    def discard_members(self, ranks: np.ndarray) -> None:
+        """Remove ``ranks`` from every ``S^p`` (column clear).
+
+        Used when membership changes: a crashed or suspected rank must
+        stop being a transfer candidate everywhere, even if gossip
+        already spread knowledge of it.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size:
+            self.rows[:, ranks] = False
+
     def coverage(self, underloaded: np.ndarray) -> float:
         """Mean fraction of the underloaded set each rank knows.
 
@@ -190,6 +201,20 @@ class PackedKnowledgeBitmap:
         mask = ~self._unpack_row(rank)
         mask[rank] = False
         return np.flatnonzero(mask)
+
+    def discard_members(self, ranks: np.ndarray) -> None:
+        """Remove ``ranks`` from every ``S^p`` (bit-column clear).
+
+        Several discarded ranks can share a byte, so the clear mask is
+        accumulated with a ufunc scatter before the single AND pass.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size == 0:
+            return
+        byte, bit = self._bits(ranks)
+        mask = np.full(self.n_bytes, 0xFF, dtype=np.uint8)
+        np.bitwise_and.at(mask, byte, ~bit)
+        self.packed &= mask
 
     def coverage(self, underloaded: np.ndarray) -> float:
         """Mean fraction of the underloaded set each rank knows.

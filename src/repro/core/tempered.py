@@ -30,6 +30,7 @@ from repro.core.gossip import GossipConfig
 from repro.core.ordering import ORDER_FEWEST_MIGRATIONS
 from repro.core.refinement import iterative_refinement
 from repro.core.transfer import TransferConfig
+from repro.sim.faults import FaultConfig
 from repro.util.parallel import EXECUTORS
 from repro.util.validation import check_positive, coerce_rng
 
@@ -75,6 +76,10 @@ class TemperedConfig:
     #: degrading to the serial loop where only one core is usable. The
     #: backend never changes results, only wall time.
     executor: str | None = None
+    #: Optional fault injection for the inform stage (message loss,
+    #: delay spikes, duplication); None or an all-zero config leaves
+    #: every result bit-identical to the fault-free balancer.
+    faults: "FaultConfig | None" = None
 
     def __post_init__(self) -> None:
         check_positive("n_trials", self.n_trials)
@@ -96,6 +101,7 @@ class TemperedConfig:
             mode=self.gossip_mode,
             engine=self.gossip_engine,
             max_known=self.max_known,
+            faults=self.faults,
         )
 
     def transfer_config(self) -> TransferConfig:

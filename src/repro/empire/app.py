@@ -24,6 +24,7 @@ from repro.empire.fields import FieldSolveModel
 from repro.empire.mesh import Mesh2D
 from repro.empire.pic import LBCostModel, PICSimulation, default_lb_schedule
 from repro.empire.workload import ColorWorkloadModel
+from repro.sim.faults import FaultConfig
 from repro.util.validation import check_in, check_positive
 
 __all__ = ["EmpireConfig", "EmpireRun", "run_empire", "CONFIGURATION_LABELS"]
@@ -76,6 +77,11 @@ class EmpireConfig:
     #: backend changes wall time only, never the refined assignment.
     n_workers: int | None = None
     executor: str | None = None
+    #: Gossip fault injection: per-message loss probability on the
+    #: inform stage (0 = the historical lossless behavior, bit for
+    #: bit) and the fault RNG seed.
+    loss_rate: float = 0.0
+    fault_seed: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -85,6 +91,8 @@ class EmpireConfig:
         check_positive("n_steps", self.n_steps)
         check_positive("lb_period", self.lb_period)
         check_in("mesh_type", self.mesh_type, ("structured", "unstructured"))
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
 
     @property
     def label(self) -> str:
@@ -153,6 +161,11 @@ def _make_balancer(config: EmpireConfig) -> LoadBalancer | None:
         return GreedyLB()
     if name == "hier":
         return HierLB()
+    faults = (
+        FaultConfig(loss_rate=config.loss_rate, seed=config.fault_seed)
+        if config.loss_rate > 0.0
+        else None
+    )
     return TemperedLB(
         TemperedConfig(
             n_trials=config.n_trials,
@@ -162,6 +175,7 @@ def _make_balancer(config: EmpireConfig) -> LoadBalancer | None:
             ordering=config.ordering,
             n_workers=config.n_workers,
             executor=config.executor,
+            faults=faults,
         )
     )
 

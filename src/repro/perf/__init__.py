@@ -2,10 +2,18 @@
 
 ``repro bench`` (see :mod:`repro.cli`) runs :func:`run_benchmarks` and
 writes ``BENCH_perf.json`` so every change leaves a perf trajectory to
-regress against. See ``docs/performance.md`` for the hot-path map and
-how to read the output.
+regress against; ``repro bench faults`` runs :func:`run_fault_bench`
+and writes ``BENCH_faults.json``, the imbalance-degradation-vs-loss
+table. See ``docs/performance.md`` and ``docs/fault_tolerance.md``.
 """
 
 from repro.perf.bench import BenchResult, format_report, run_benchmarks
+from repro.perf.faults import format_fault_report, run_fault_bench
 
-__all__ = ["BenchResult", "format_report", "run_benchmarks"]
+__all__ = [
+    "BenchResult",
+    "format_report",
+    "run_benchmarks",
+    "format_fault_report",
+    "run_fault_bench",
+]

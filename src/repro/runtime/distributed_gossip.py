@@ -70,6 +70,7 @@ class DistributedGossip:
         rounds: int = 10,
         streams: RankStreams | None = None,
         packed: bool = True,
+        detector: "object | None" = None,
     ) -> None:
         check_positive("fanout", fanout)
         check_positive("rounds", rounds)
@@ -88,6 +89,12 @@ class DistributedGossip:
         #: protocol exchanges rank-id arrays either way, so the choice
         #: never affects traffic or RNG consumption.
         self.packed = bool(packed)
+        #: Optional failure detector
+        #: (:class:`repro.sim.faults.HeartbeatFailureDetector`); when
+        #: provided, suspected ranks are skipped as gossip targets and
+        #: the detector's heartbeats run only for the duration of this
+        #: stage.
+        self.detector = detector
 
     def run(self) -> GossipOutcome:
         """Execute the inform stage to quiescence; advances the clock."""
@@ -99,15 +106,30 @@ class DistributedGossip:
         start_time = system.engine.now
         counters = {"messages": 0, "bytes": 0}
 
+        faults = system.faults
+        if faults is None or not faults.enabled:
+            faults = None
+
         underloaded = self.loads < self.average_load
         know = PackedKnowledgeBitmap(n) if self.packed else KnowledgeBitmap(n)
         seeds = np.flatnonzero(underloaded)
+        if faults is not None:
+            # Crashed ranks cannot initiate gossip about themselves.
+            seeds = seeds[faults.alive[seeds]]
         know.add_self(seeds)
         #: Rounds already forwarded per rank (coalescing guard).
         forwarded: list[set[int]] = [set() for _ in range(n)]
+        #: Set once the stage is over: late messages (delayed past the
+        #: stage timeout) must not trigger sends into the next stage.
+        closed = [False]
 
         def send_knowledge(proc: Process, next_round: int) -> None:
             candidates = know.unknown_targets(proc.rank)
+            if self.detector is not None and self.detector.suspected:
+                suspects = np.fromiter(
+                    self.detector.suspected, dtype=np.int64, count=-1
+                )
+                candidates = candidates[~np.isin(candidates, suspects)]
             if candidates.size == 0:
                 return
             rng = self.streams[proc.rank]
@@ -125,6 +147,8 @@ class DistributedGossip:
             counters["bytes"] += n_sent * size
 
         def on_inform(proc: Process, msg) -> None:
+            if closed[0]:
+                return
             members, round_index = msg.payload
             know.add(proc.rank, members)
             if round_index < self.rounds and round_index not in forwarded[proc.rank]:
@@ -135,13 +159,44 @@ class DistributedGossip:
             proc.register(tag, on_inform)
 
         detected: list[float] = []
-        detector = SafraDetector(system, on_terminate=detected.append)
-        for rank in seeds:
-            send_knowledge(system.processes[int(rank)], 1)
-        detector.start()
-        system.run()
-        if not detected:
-            raise RuntimeError("gossip termination was not detected")
+        # Scope Safra to this stage's tag: with faults, messages can
+        # linger past the stage (delay spikes) and must not poison the
+        # next stage's accounting; without faults the scope is inert.
+        safra = SafraDetector(
+            system, on_terminate=detected.append, scope=lambda t: t == tag
+        )
+        if faults is None:
+            for rank in seeds:
+                send_knowledge(system.processes[int(rank)], 1)
+            safra.start()
+            system.run()
+            if not detected:
+                raise RuntimeError("gossip termination was not detected")
+            elapsed = detected[0] - start_time
+        else:
+            # Faulty run: a crashed member breaks the Safra ring, so the
+            # stage is additionally bounded by a timeout. Events are
+            # stepped one at a time so the clock stops at detection (or
+            # at the deadline) instead of draining unrelated events.
+            if self.detector is not None:
+                self.detector.start()
+            for rank in seeds:
+                send_knowledge(system.processes[int(rank)], 1)
+            safra.start()
+            deadline = start_time + faults.config.stage_timeout
+            engine = system.engine
+            while not detected:
+                nxt = engine.peek()
+                if nxt is None or nxt > deadline:
+                    break
+                engine.step()
+            if not detected:
+                safra.cancel()
+                engine.run(until=deadline)  # advance the clock, only
+            closed[0] = True
+            if self.detector is not None:
+                self.detector.stop()
+            elapsed = (detected[0] if detected else deadline) - start_time
 
         return GossipOutcome(
             knowledge=know,
@@ -150,5 +205,5 @@ class DistributedGossip:
             average_load=self.average_load,
             n_messages=counters["messages"],
             bytes_sent=counters["bytes"],
-            elapsed=detected[0] - start_time,
+            elapsed=elapsed,
         )

@@ -28,13 +28,45 @@ from repro.obs import StatsRegistry
 from repro.runtime.amt import AMTRuntime
 from repro.runtime.distributed_gossip import DistributedGossip
 from repro.runtime.migration import MigrationResult, migrate_tasks
+from repro.sim.faults import HeartbeatFailureDetector
 from repro.sim.reductions import allreduce
 from repro.sim.rng import RankStreams
 
-__all__ = ["DistributedLBResult", "LBManager"]
+__all__ = ["DistributedLBResult", "LBManager", "failover_assignment"]
 
 #: CPU seconds charged per transfer-loop attempt (criterion + CMF sample).
 _ATTEMPT_COST = 5e-7
+
+
+def failover_assignment(
+    assignment: np.ndarray,
+    task_loads: np.ndarray,
+    alive: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Reassign every task on a dead rank to a live rank (checkpoint
+    restart semantics: the work restarts elsewhere, total load is
+    conserved).
+
+    Deterministic greedy: orphaned tasks in descending load order, each
+    to the currently least-loaded live rank. Returns the repaired
+    assignment and the number of tasks moved.
+    """
+    assignment = np.asarray(assignment)
+    alive = np.asarray(alive, dtype=bool)
+    out = assignment.copy()
+    if alive.all():
+        return out, 0
+    if not alive.any():
+        raise ValueError("no live ranks to fail over to")
+    rank_loads = np.bincount(out, weights=task_loads, minlength=alive.size)
+    rank_loads[~alive] = np.inf  # dead ranks are never failover targets
+    orphans = np.flatnonzero(~alive[out])
+    order = orphans[np.argsort(-task_loads[orphans], kind="stable")]
+    for t in order:
+        dst = int(np.argmin(rank_loads))
+        out[t] = dst
+        rank_loads[dst] += task_loads[t]
+    return out, int(orphans.size)
 
 
 @dataclass
@@ -76,6 +108,10 @@ class LBManager:
         #: ``episode.iteration`` series, and the transfer counters.
         #: Never consumes RNG, so episode outcomes are unchanged.
         self.registry = registry
+        #: Lazily created when the system has an active fault layer;
+        #: heartbeats run only inside gossip stages (started/stopped by
+        #: :class:`DistributedGossip`).
+        self.failure_detector: HeartbeatFailureDetector | None = None
 
     def run_episode(self, predicted_loads: np.ndarray | None = None) -> DistributedLBResult:
         """Balance using the given (or instrumented) per-task loads.
@@ -96,6 +132,25 @@ class LBManager:
         t0 = system.engine.now
         original = runtime.assignment.copy()
         n_ranks = runtime.n_ranks
+
+        faults = system.faults
+        if faults is None or not faults.enabled:
+            faults = None
+        if faults is not None:
+            if self.failure_detector is None:
+                self.failure_detector = HeartbeatFailureDetector(
+                    system, faults.config, registry=self.registry
+                )
+            # Checkpoint-restart failover: tasks stranded on dead ranks
+            # restart on the least-loaded live ranks before balancing.
+            # (Restart cost is checkpoint I/O, not a live migration, so
+            # it is not charged to the migration episode.)
+            if faults.dead_ranks().size:
+                original, n_failover = failover_assignment(
+                    original, task_loads, faults.alive
+                )
+                if n_failover and self.registry is not None and self.registry.enabled:
+                    self.registry.inc("faults.failover_tasks", n_failover)
 
         # 1. Statistics all-reduce: (total, max) of rank loads.
         rank_loads = np.bincount(original, weights=task_loads, minlength=n_ranks)
@@ -121,6 +176,7 @@ class LBManager:
                     fanout=cfg.fanout,
                     rounds=cfg.rounds,
                     streams=self.streams,
+                    detector=self.failure_detector,
                 ).run()
                 gossip_time += gossip.elapsed
                 gossip_messages += gossip.n_messages
@@ -131,6 +187,17 @@ class LBManager:
                 gossip_result = gossip.to_gossip_result()
                 transfer_cfg = cfg.transfer_config()
                 overloaded = np.flatnonzero(loads > transfer_cfg.threshold * l_ave)
+                if faults is not None:
+                    # Dead and suspected ranks must neither receive work
+                    # nor make decisions this iteration.
+                    excluded = {int(r) for r in faults.dead_ranks()}
+                    if self.failure_detector is not None:
+                        excluded |= {int(r) for r in self.failure_detector.suspected}
+                    if excluded:
+                        gossip_result.knowledge.discard_members(
+                            np.fromiter(sorted(excluded), dtype=np.int64)
+                        )
+                    overloaded = overloaded[faults.alive[overloaded]]
                 for p in overloaded:
                     rank_stats = transfer_from_rank(
                         int(p),

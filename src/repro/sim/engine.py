@@ -49,6 +49,12 @@ class Engine:
         """Number of events still queued."""
         return len(self._queue)
 
+    def peek(self) -> float | None:
+        """The next queued event's time, or None when the queue is
+        empty — lets deadline-bounded drivers stop *before* dispatching
+        an event past their timeout."""
+        return self._queue[0][0] if self._queue else None
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         check_nonnegative("delay", delay)

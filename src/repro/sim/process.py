@@ -47,6 +47,14 @@ class Process:
         """True when no handler is running or queued on this rank."""
         return not self._executing and not self._mailbox
 
+    def reset(self) -> None:
+        """Drop all queued messages and any pending execution (rank
+        crash). Queued messages count as dropped so termination
+        accounting stays balanced."""
+        while self._mailbox:
+            self.system._notify_drop(self._mailbox.popleft())
+        self._executing = False
+
     def register(self, tag: str, handler: Handler) -> None:
         """Install a handler for messages with ``tag``."""
         if tag in self._handlers:
@@ -115,6 +123,11 @@ class Process:
         self.system.engine.schedule_at(start, self._execute)
 
     def _execute(self) -> None:
+        if not self._mailbox:
+            # The mailbox was cleared (rank crash) between scheduling
+            # and execution; this event is stale.
+            self._executing = False
+            return
         msg = self._mailbox.popleft()
         self.received += 1
         self.compute(self.system.handler_overhead)
@@ -164,6 +177,11 @@ class System:
         self._deliver_hooks: list[Callable[[Message], None]] = []
         self._post_execute_hooks: list[Callable[[Process, Message], None]] = []
         self._compute_hooks: list[Callable[[int, float, float], None]] = []
+        self._drop_hooks: list[Callable[[Message], None]] = []
+        #: Optional fault-injection layer (:class:`repro.sim.faults.FaultyLink`).
+        #: None, or a layer whose ``enabled`` is False, leaves the
+        #: message path byte-identical to the undecorated system.
+        self.faults = None
 
     @property
     def n_ranks(self) -> int:
@@ -184,6 +202,19 @@ class System:
     def add_compute_hook(self, hook: Callable[[int, float, float], None]) -> None:
         """Observe CPU occupancy: ``hook(rank, start, end)`` per compute."""
         self._compute_hooks.append(hook)
+
+    def add_drop_hook(self, hook: Callable[[Message], None]) -> None:
+        """Observe every message the fault layer destroys.
+
+        A dropped message was already counted at its sender (the
+        transmit hooks ran), so termination detectors subscribe here to
+        un-count it — keeping quiescence detection sound under loss.
+        """
+        self._drop_hooks.append(hook)
+
+    def _notify_drop(self, msg: Message) -> None:
+        for hook in self._drop_hooks:
+            hook(msg)
 
     def transmit(self, msg: Message) -> None:
         """Route a message through the network to its destination."""
@@ -230,6 +261,8 @@ class System:
         nic_free = self._nic_free
         rx_free = self._rx_free
         schedule_at = self.engine.schedule_at
+        faults = self.faults
+        faulty = faults is not None and faults.enabled
         for msg in msgs:
             for hook in self._transmit_hooks:
                 hook(msg)
@@ -237,11 +270,34 @@ class System:
             depart = max(now, nic_free[msg.src]) + tx
             nic_free[msg.src] = depart
             arrival = depart + network.wire_latency(msg.src, msg.dst)
+            if faulty:
+                # The fault layer decides this message's fate(s): no
+                # copies = dropped (the sender's NIC still paid — it
+                # cannot know), one = normal, two = duplicated. Extra
+                # copies re-run the transmit hooks so termination
+                # counters stay balanced with their extra executions.
+                # Fault latency is added AFTER the receive-NIC chain:
+                # a delay spike holds up only its own message (it is
+                # in-network, not queued at the NIC), which is what
+                # lets messages inside the reorder window overtake.
+                for i, extra in enumerate(faults.fates(msg)):
+                    if i:
+                        for hook in self._transmit_hooks:
+                            hook(msg)
+                    rx_done = max(arrival, rx_free[msg.dst] + tx)
+                    rx_free[msg.dst] = rx_done
+                    schedule_at(
+                        rx_done + extra, self._arrive, self.processes[msg.dst], msg
+                    )
+                continue
             rx_done = max(arrival, rx_free[msg.dst] + tx)
             rx_free[msg.dst] = rx_done
             schedule_at(rx_done, self._arrive, self.processes[msg.dst], msg)
 
     def _arrive(self, dest: Process, msg: Message) -> None:
+        faults = self.faults
+        if faults is not None and faults.enabled and faults.blocks_delivery(msg):
+            return
         for hook in self._deliver_hooks:
             hook(msg)
         dest.deliver(msg)

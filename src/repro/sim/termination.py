@@ -80,6 +80,7 @@ class SafraDetector:
         self.rounds = 0
         system.add_transmit_hook(self._on_transmit)
         system.add_post_execute_hook(self._on_executed)
+        system.add_drop_hook(self._on_drop)
         for proc in system.processes:
             proc.register(self._token_tag, self._on_token)
 
@@ -95,6 +96,15 @@ class SafraDetector:
             self._evaluate_single()
             return
         self._send_token(0, 0, WHITE)
+
+    def cancel(self) -> None:
+        """Abandon detection without announcing (stage timeout).
+
+        The ring may be broken — a crashed member cannot forward the
+        token — so a timed-out stage cancels the detector; any token
+        still circulating is swallowed by the terminated guard.
+        """
+        self._terminated = True
 
     # -- message accounting --------------------------------------------------
 
@@ -113,6 +123,15 @@ class SafraDetector:
             return
         self._count[proc.rank] -= 1
         self._color[proc.rank] = BLACK
+        if self.system.n_ranks == 1:
+            self._evaluate_single()
+
+    def _on_drop(self, msg: Message) -> None:
+        """A counted message will never execute: un-count it at the
+        sender so the ring's sent-received total can still reach zero."""
+        if self._terminated or not self._in_scope(msg.tag):
+            return
+        self._count[msg.src] -= 1
         if self.system.n_ranks == 1:
             self._evaluate_single()
 
@@ -189,6 +208,7 @@ class DijkstraScholten:
         self._terminated = False
         system.add_transmit_hook(self._on_transmit)
         system.add_post_execute_hook(self._on_executed)
+        system.add_drop_hook(self._on_drop)
         for proc in system.processes:
             proc.register(self._ack_tag, self._on_ack)
 
@@ -224,6 +244,24 @@ class DijkstraScholten:
         rank = proc.rank
         self._deficit[rank] -= 1
         self._maybe_finish(rank)
+
+    def _on_drop(self, msg: Message) -> None:
+        """Balance the deficit for messages the fault layer destroys.
+
+        A dropped application message can never be acknowledged, so its
+        sender's deficit is retired directly; a dropped *ack* retires
+        the deficit of the rank that was waiting for it.
+        """
+        if self._terminated:
+            return
+        if msg.tag == self._ack_tag:
+            self._deficit[msg.dst] -= 1
+            self._maybe_finish(msg.dst)
+            return
+        if is_control_tag(msg.tag):
+            return
+        self._deficit[msg.src] -= 1
+        self._maybe_finish(msg.src)
 
     def _maybe_finish(self, rank: int) -> None:
         """Detach from the parent (or terminate, at the root) once the

@@ -77,7 +77,14 @@ class TestDesign:
 class TestDocsDir:
     @pytest.mark.parametrize(
         "name",
-        ["algorithms.md", "simulation.md", "reproducing.md", "api.md", "observability.md"],
+        [
+            "algorithms.md",
+            "simulation.md",
+            "reproducing.md",
+            "api.md",
+            "observability.md",
+            "fault_tolerance.md",
+        ],
     )
     def test_docs_exist_and_substantial(self, name):
         text = read(f"docs/{name}")
