@@ -19,8 +19,13 @@ executor's job is merely to not lose — so that assert is conditional
 on ``effective_cpu_count() >= 2`` (true on CI runners).
 """
 
-from repro.perf import format_report, run_benchmarks
+import json
+import pathlib
+
+from repro.perf import SCALE_RSS_BUDGET_MB, format_report, run_benchmarks
 from repro.util.parallel import effective_cpu_count
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 
 def run_hot_paths():
@@ -44,3 +49,37 @@ def test_perf_hot_paths(benchmark, artifact):
     for bench in payload["benchmarks"]:
         if bench["name"].startswith("inform/"):
             assert bench["message_model_exact"], bench["name"]
+
+
+def test_committed_bench_scale_ladder_floors(benchmark):
+    """Floor-assert the committed ``BENCH_perf.json`` rank-count ladder.
+
+    The artifact is regenerated with ``repro bench --scale all``; this
+    check keeps a regenerated file honest without re-running the heavy
+    rungs: every recorded ``speedups.*`` must clear 1.0 (no fast path
+    may ship slower than its reference), the ladder speedup proving
+    ``knowledge="auto"`` picks the winning backend must be present at
+    both raced rungs, and each rung — 131k included, which only the
+    committed artifact covers (CI stops at 32k) — must have stayed
+    inside its peak-RSS budget, 8 GiB at 131,072 ranks / 2M tasks.
+    """
+    payload = benchmark.pedantic(
+        lambda: json.loads((REPO_ROOT / "BENCH_perf.json").read_text()),
+        rounds=1,
+        iterations=1,
+    )
+    for name, value in payload["speedups"].items():
+        assert value >= 1.0, f"speedups.{name} = {value:.2f} regressed below 1.0"
+    for rung in ("4k", "32k"):
+        assert f"inform_backend_auto_vs_alt_{rung}" in payload["speedups"], rung
+    ladder = {r["scale"]: r for r in payload["scale_ladder"]}
+    assert set(ladder) == set(SCALE_RSS_BUDGET_MB)
+    for name, rung in ladder.items():
+        budget = SCALE_RSS_BUDGET_MB[name]
+        assert rung["peak_rss_mb"] < budget, (
+            f"rung {name}: peak RSS {rung['peak_rss_mb']:.0f} MB "
+            f"over the {budget} MB budget"
+        )
+        assert rung["equivalent_transfers"], name
+    assert ladder["131k"]["n_ranks"] == 131_072
+    assert ladder["131k"]["n_tasks"] >= 2_000_000

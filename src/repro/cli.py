@@ -191,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="CI-smoke scale instead of the § V scale"
     )
     p.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    p.add_argument(
+        "--scale",
+        choices=["4k", "32k", "131k", "all"],
+        default=None,
+        help="also run the rank-count ladder at this rung (or every rung); "
+        "each rung runs in a fresh subprocess and records its peak RSS "
+        "(perf suite only)",
+    )
     _add_executor_flags(p, executor_default="auto")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--fault-seed", type=int, default=0)
@@ -479,6 +487,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             executor=args.executor or "auto",
+            scale=args.scale,
         )
         print(format_report(payload))
         out = args.json if args.json is not None else "BENCH_perf.json"

@@ -20,7 +20,11 @@ from repro.core.gossip import GossipConfig, GossipResult, run_inform_stage
 from repro.core.grapevine import GrapevineLB
 from repro.core.greedy import GreedyLB
 from repro.core.hier import HierLB
-from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
+from repro.core.knowledge import (
+    KnowledgeBitmap,
+    PackedKnowledgeBitmap,
+    SparseKnowledge,
+)
 from repro.core.metrics import (
     LoadStatistics,
     imbalance,
@@ -35,6 +39,7 @@ from repro.core.ordering import (
     order_load_intensive,
 )
 from repro.core.refinement import RefinementResult, iterative_refinement
+from repro.core.soa import RankTaskState
 from repro.core.tempered import TemperedConfig, TemperedLB
 from repro.core.transfer import TransferStats, transfer_stage
 
@@ -59,8 +64,10 @@ __all__ = [
     "ORDERINGS",
     "PackedKnowledgeBitmap",
     "RandomLB",
+    "RankTaskState",
     "RefinementResult",
     "RotateLB",
+    "SparseKnowledge",
     "TemperedConfig",
     "TemperedLB",
     "TransferStats",

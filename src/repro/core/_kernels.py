@@ -1,0 +1,205 @@
+"""Compiled inner loop for the transfer stage (Alg. 2 l.4-18).
+
+The hot core of :func:`repro.core.transfer.transfer_stage` is a scalar
+per-task loop: sample a recipient from the CMF, evaluate the criterion,
+apply the incremental mass update. This module provides that loop as a
+single kernel function over flat arrays — the Fenwick tree, the mass
+vector and the sender's task walk — written in numba-compatible scalar
+style.
+
+When numba is importable the kernel is additionally offered as an
+``@njit``-compiled variant (``kernel="numba"`` on
+:class:`~repro.core.transfer.TransferConfig`); when it is not, the
+"numba" spelling silently degrades to the pure-Python kernel. Both run
+the exact float operations of :class:`repro.core.cmf.IncrementalCMF`
+in the same order, so results are bit-identical across all three of
+{inline loop, Python kernel, jitted kernel}.
+
+The kernel never owns the RNG: the driver pre-draws one uniform per
+potential proposal and rewinds/advances the bit generator by the number
+actually consumed (see ``_transfer_from_rank_soa``), so the consumed
+stream is exactly the sequence of scalar draws the reference loop makes.
+
+Kernel statuses (returned, never raised):
+
+``PASS_DONE`` (0)
+    Walked every task of the pass.
+``PASS_THRESHOLD`` (1)
+    The sender dropped to/below the threshold load mid-pass.
+``PASS_EXHAUSTED`` (2)
+    The sampler ran out of positive mass (``build_cmf`` would return
+    ``None``); the caller stops transferring from this rank.
+``PASS_REBUILD`` (3)
+    An accepted transfer moved the CMF scale ``l_s`` — the one case
+    :class:`IncrementalCMF` answers with a full O(n) rebuild. The
+    kernel has already applied the triggering load write; the driver
+    rebuilds the masses/tree and re-enters at the returned position.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the in-repo default
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """No-op decorator stand-in when numba is absent."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+__all__ = [
+    "HAVE_NUMBA",
+    "PASS_DONE",
+    "PASS_THRESHOLD",
+    "PASS_EXHAUSTED",
+    "PASS_REBUILD",
+    "get_transfer_pass",
+    "transfer_pass",
+]
+
+PASS_DONE = 0
+PASS_THRESHOLD = 1
+PASS_EXHAUSTED = 2
+PASS_REBUILD = 3
+
+
+def transfer_pass(
+    o_loads,  # float64[:] task loads in traversal order
+    pos,  # int: first position of `o_loads` to process
+    uniforms,  # float64[:] pre-drawn uniforms, consumed sequentially
+    u_pos,  # int: next uniform to consume
+    loads_known,  # float64[:] sampler's known candidate loads (mutated)
+    masses,  # float64[:] sampler's headroom masses (mutated)
+    tree,  # float64[:] Fenwick tree, index 0 unused (mutated)
+    total,  # float: sum of masses
+    n_positive,  # int: count of positive masses
+    max_load,  # float: sampler's running max of loads_known
+    l_s,  # float: CMF scale (max(l_ave, max_load) for "modified")
+    l_ave,  # float: global average load
+    p_load,  # float: sender's current load
+    threshold_load,  # float: h * l_ave
+    variant_modified,  # bool: "modified" CMF (l_s tracks the max)
+    criterion_relaxed,  # bool: relaxed criterion vs original
+    acc_pos,  # int64[:] out: accepted positions in the walk
+    acc_idx,  # int64[:] out: accepted candidate indices
+):
+    """One contiguous segment of a transfer pass; see module docstring.
+
+    Returns ``(status, pos, u_pos, n_acc, n_rej, n_upd, total,
+    n_positive, max_load, p_load)`` where ``pos``/``u_pos`` are the
+    resume points and the counters cover only this segment.
+    """
+    n = o_loads.shape[0]
+    size = masses.shape[0]
+    n_acc = 0
+    n_rej = 0
+    n_upd = 0
+    status = PASS_DONE
+    while pos < n:
+        if p_load <= threshold_load:
+            status = PASS_THRESHOLD
+            break
+        if size == 0 or l_s <= 0.0 or n_positive == 0:
+            status = PASS_EXHAUSTED
+            break
+        o_load = o_loads[pos]
+        # -- IncrementalCMF.sample: Fenwick descent on u * total -------
+        u = uniforms[u_pos]
+        u_pos += 1
+        target = u * total
+        bit = 1
+        while (bit << 1) <= size:
+            bit <<= 1
+        idx = 0
+        remaining = target
+        while bit:
+            nxt = idx + bit
+            if nxt <= size and tree[nxt] <= remaining:
+                idx = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        if idx >= size or masses[idx] <= 0.0:
+            # Drift fallback: resolve against exact sequential prefix
+            # sums (== searchsorted(cumsum, target, side="right")).
+            c = 0.0
+            idx = size - 1
+            for i in range(size):
+                c += masses[i]
+                if c > target:
+                    idx = i
+                    break
+        # -- criterion --------------------------------------------------
+        l_x = loads_known[idx]
+        if criterion_relaxed:
+            accept = o_load < p_load - l_x
+        else:
+            accept = l_x + o_load < l_ave
+        if accept:
+            acc_pos[n_acc] = pos
+            acc_idx[n_acc] = idx
+            n_acc += 1
+            p_load -= o_load
+            new_load = l_x + o_load
+            # -- IncrementalCMF.update(idx, new_load) -------------------
+            n_upd += 1
+            old_load = loads_known[idx]
+            loads_known[idx] = new_load
+            if variant_modified:
+                if new_load > max_load:
+                    max_load = new_load
+                    if new_load > l_s:
+                        pos += 1
+                        status = PASS_REBUILD
+                        break
+                elif old_load == max_load and new_load < old_load:
+                    fresh = loads_known[0]
+                    for i in range(1, size):
+                        if loads_known[i] > fresh:
+                            fresh = loads_known[i]
+                    max_load = fresh
+                    ls_next = l_ave if l_ave > fresh else fresh
+                    if ls_next != l_s:
+                        pos += 1
+                        status = PASS_REBUILD
+                        break
+            old_mass = masses[idx]
+            headroom = 1.0 - new_load / l_s
+            new_mass = headroom if headroom > 0.0 else 0.0
+            if new_mass != old_mass:
+                masses[idx] = new_mass
+                if old_mass == 0.0:
+                    n_positive += 1
+                elif new_mass == 0.0:
+                    n_positive -= 1
+                delta = new_mass - old_mass
+                total += delta
+                i = idx + 1
+                while i <= size:
+                    tree[i] += delta
+                    i += i & -i
+        else:
+            n_rej += 1
+        pos += 1
+    return (status, pos, u_pos, n_acc, n_rej, n_upd, total, n_positive, max_load, p_load)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _transfer_pass_jit = njit(cache=False)(transfer_pass)
+else:
+    _transfer_pass_jit = transfer_pass
+
+
+def get_transfer_pass(use_numba: bool):
+    """The kernel callable for ``kernel="numba"`` (jitted when numba is
+    installed, the identical Python function otherwise) or
+    ``kernel="python"``."""
+    return _transfer_pass_jit if use_numba else transfer_pass

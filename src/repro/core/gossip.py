@@ -45,12 +45,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
+from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap, SparseKnowledge
 from repro.obs import StatsRegistry
 from repro.sim.faults import FaultConfig, PhaseFaultModel
 from repro.util.validation import check_in, check_positive, coerce_rng
 
-__all__ = ["GossipConfig", "GossipResult", "GossipExplosionError", "run_inform_stage"]
+__all__ = [
+    "GossipConfig",
+    "GossipResult",
+    "GossipExplosionError",
+    "run_inform_stage",
+    "SPARSE_AUTO_MIN_RANKS",
+]
 
 #: Bytes for one (rank id, load) knowledge entry on the wire.
 ENTRY_BYTES = 16
@@ -70,6 +76,20 @@ else:  # pragma: no cover - NumPy < 2.0 fallback
 
 class GossipExplosionError(RuntimeError):
     """Raised when ``per_message`` mode exceeds its message budget."""
+
+
+#: Rank count at which ``knowledge="auto"`` switches the batched engine
+#: from the packed bitmap (O(P^2) bits — 128 MiB at 2^15, 2 GiB at
+#: 2^17) to sparse per-rank id shards (O(cap * P) bytes). Below the
+#: threshold the bit matrix is small enough that packed's vectorized
+#: row-OR dominates (measured: ~2.7x over sparse at 4k ranks); at
+#: 2^15 and beyond the matrix gathers outweigh the shard merges
+#: (sparse ~1.8x faster at 32k over a full 10-round episode, and the
+#: only backend that fits a sane budget at 2^17, where packed would
+#: need a 2 GiB matrix plus a same-sized row gather per round).
+#: Sparse only pays off once knowledge is capped, so auto
+#: additionally requires ``max_known``.
+SPARSE_AUTO_MIN_RANKS = 32_768
 
 
 @dataclass(frozen=True)
@@ -109,6 +129,14 @@ class GossipConfig:
     #: draw from their own seeded generator, never from the engine's
     #: sampling RNG.
     faults: FaultConfig | None = None
+    #: Knowledge backend for the batched engine: "packed" (the dense
+    #: bit matrix, O(P^2) bits), "sparse" (per-rank sorted id shards,
+    #: O(sum |S^p|) — the high-rank-count backend, bit-identical to
+    #: packed), or "auto" (sparse once ``n_ranks >=
+    #: SPARSE_AUTO_MIN_RANKS`` *and* ``max_known`` caps the shards;
+    #: packed otherwise). The loop engine always uses the boolean
+    #: reference bitmap.
+    knowledge: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive("fanout", self.fanout)
@@ -122,13 +150,49 @@ class GossipConfig:
         check_positive("ranks_per_node", self.ranks_per_node)
         if not 0.0 <= self.intra_node_bias <= 1.0:
             raise ValueError("intra_node_bias must be in [0, 1]")
+        check_in("knowledge", self.knowledge, ("auto", "packed", "sparse"))
+        if self.knowledge == "sparse":
+            if self.mode != "coalesced" or self.engine != "batched":
+                raise ValueError(
+                    "knowledge='sparse' requires mode='coalesced' and "
+                    "engine='batched'"
+                )
+            if self.intra_node_bias > 0.0:
+                raise ValueError(
+                    "knowledge='sparse' does not support intra_node_bias"
+                )
+            if self.faults is not None:
+                raise ValueError(
+                    "knowledge='sparse' does not support fault injection"
+                )
+
+    def resolve_knowledge(self, n_ranks: int) -> str:
+        """The batched engine's backend for a given rank count.
+
+        Auto selects sparse only where it is both applicable (no fault
+        model or topology bias — those paths are packed-only) and a
+        win: a ``max_known`` cap bounds the shards, and the rank count
+        is high enough that the dense matrix is the larger cost.
+        """
+        if self.knowledge != "auto":
+            return self.knowledge
+        if (
+            self.mode == "coalesced"
+            and self.engine == "batched"
+            and self.max_known is not None
+            and self.faults is None
+            and self.intra_node_bias == 0.0
+            and n_ranks >= SPARSE_AUTO_MIN_RANKS
+        ):
+            return "sparse"
+        return "packed"
 
 
 @dataclass
 class GossipResult:
     """Outcome of one inform stage."""
 
-    knowledge: KnowledgeBitmap | PackedKnowledgeBitmap
+    knowledge: KnowledgeBitmap | PackedKnowledgeBitmap | SparseKnowledge
     underloaded: np.ndarray  #: boolean mask, True where l^p < l_ave
     load_snapshot: np.ndarray  #: rank loads at inform time
     average_load: float
@@ -233,9 +297,14 @@ def run_inform_stage(
 
     underloaded = loads < l_ave
     batched = config.mode == "coalesced" and config.engine == "batched"
-    know: KnowledgeBitmap | PackedKnowledgeBitmap = (
-        PackedKnowledgeBitmap(n_ranks) if batched else KnowledgeBitmap(n_ranks)
-    )
+    sparse = batched and config.resolve_knowledge(n_ranks) == "sparse"
+    know: KnowledgeBitmap | PackedKnowledgeBitmap | SparseKnowledge
+    if sparse:
+        know = SparseKnowledge(n_ranks)
+    elif batched:
+        know = PackedKnowledgeBitmap(n_ranks)
+    else:
+        know = KnowledgeBitmap(n_ranks)
     result = GossipResult(
         knowledge=know,
         underloaded=underloaded,
@@ -256,6 +325,8 @@ def run_inform_stage(
         if model is not None:
             raise ValueError("fault injection requires mode='coalesced'")
         _run_per_message(know, seeds, config, rng, result)  # type: ignore[arg-type]
+    elif sparse:
+        _run_coalesced_sparse(know, seeds, config, rng, result)  # type: ignore[arg-type]
     elif batched:
         _run_coalesced_batched(know, seeds, config, rng, result, model)  # type: ignore[arg-type]
     else:
@@ -474,25 +545,104 @@ _MAX_WAVE_WIDTH = 64
 _SPARSE_DIVISOR = 64
 
 
+class _PackedCandidates:
+    """Candidate membership over a packed uint8 bit matrix.
+
+    The view interface the batch sampler works against: ``test`` checks
+    a matrix of drawn rank ids against each row's candidate set, and
+    ``extract`` materializes selected rows as packed bytes for the
+    exact sampler. The packed engine's candidate matrix satisfies it
+    directly; the sparse engine substitutes a complement view so the
+    O(P^2)-bit matrix never exists.
+    """
+
+    __slots__ = ("packed",)
+
+    def __init__(self, packed: np.ndarray) -> None:
+        self.packed = packed
+
+    def test(self, rows: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        bit = np.uint8(128) >> (draws & 7).astype(np.uint8)
+        return (self.packed[rows[:, None], draws >> 3] & bit) != 0
+
+    def extract(self, rows: np.ndarray) -> np.ndarray:
+        return self.packed[rows].copy()
+
+
+class _SparseComplementCandidates:
+    """Candidate view ``P \\ (S^p u {p})`` over sparse knowledge shards.
+
+    A draw is a candidate iff it is not the sender and not in the
+    sender's shard. Shard membership resolves against one flat key
+    array ``row * P + id``: the row-major concatenation of sorted
+    shards is globally sorted, so a whole wave of (row, draw) pairs is
+    one ``searchsorted``. ``extract`` (the exact-sampler path, rare
+    and only for thin rows) packs the complement from an all-ones
+    template with the shard and self bits cleared.
+    """
+
+    __slots__ = ("n_ranks", "senders", "shards", "lens", "flat_keys", "template")
+
+    def __init__(
+        self,
+        n_ranks: int,
+        senders: np.ndarray,
+        shards: list[np.ndarray] | None,
+        lens: np.ndarray | None,
+        flat_keys: np.ndarray | None,
+        template: np.ndarray,
+    ) -> None:
+        self.n_ranks = n_ranks
+        self.senders = senders
+        self.shards = shards  # None => candidates are all of P minus self
+        self.lens = lens
+        self.flat_keys = flat_keys
+        self.template = template
+
+    def test(self, rows: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        ok = draws != self.senders[rows][:, None]
+        flat = self.flat_keys
+        if flat is not None and flat.size:
+            keys = (rows[:, None] * np.int64(self.n_ranks) + draws).ravel()
+            pos = np.searchsorted(flat, keys)
+            hit = flat[np.minimum(pos, flat.size - 1)] == keys
+            ok &= ~hit.reshape(draws.shape)
+        return ok
+
+    def extract(self, rows: np.ndarray) -> np.ndarray:
+        out = np.repeat(self.template[None, :], rows.size, axis=0)
+        idx = np.arange(rows.size)
+        if self.shards is not None:
+            row_lens = self.lens[rows]
+            if int(row_lens.sum()):
+                members = np.concatenate(
+                    [self.shards[r] for r in rows.tolist()]
+                ).astype(np.int64)
+                _clear_bits(out, np.repeat(idx, row_lens), members)
+        _clear_bits(out, idx, self.senders[rows])
+        return out
+
+
 def _sample_sparse_rows(
     rng: np.random.Generator,
-    cand: np.ndarray,
-    rows: np.ndarray,
+    sel: np.ndarray,
     want: np.ndarray,
     n_ranks: int,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact per-row sampling for thinned-out candidate sets.
 
-    Extracts candidate ids straight from the packed bytes (only the
-    nonzero bytes are expanded — cheap once sets are sparse), keys
-    every candidate with an independent uniform and takes each row's
-    ``want`` smallest keys: a uniform without-replacement sample per
-    row, via one argpartition over a padded id matrix.
+    ``sel`` holds the already-extracted packed candidate rows (aligned
+    with ``want``). Candidate ids are expanded straight from the
+    nonzero bytes — cheap once sets are sparse — keyed with an
+    independent uniform each, and each row takes its ``want`` smallest
+    keys: a uniform without-replacement sample per row, via one
+    argpartition over a padded id matrix. Returns flat ``(local row
+    index, rank id)``.
     """
     empty = np.empty(0, dtype=np.int64)
-    if rows.size == 0:
+    n_rows = sel.shape[0]
+    if n_rows == 0:
         return empty, empty
-    sel = cand[rows]
     nz_r, nz_b = np.nonzero(sel)
     if nz_r.size == 0:
         return empty, empty
@@ -500,7 +650,7 @@ def _sample_sparse_rows(
     br, bc = np.nonzero(bits)
     rid = nz_r[br]  # row-major nonzero => rid ascending, cid sorted in-row
     cid = nz_b[br] * 8 + bc
-    seg_counts = np.bincount(rid, minlength=rows.size)
+    seg_counts = np.bincount(rid, minlength=n_rows)
     take = np.minimum(want, seg_counts)
     take_max = int(take.max())
     if take_max == 0:
@@ -509,9 +659,9 @@ def _sample_sparse_rows(
     m_max = int(seg_counts.max())
     seg_starts = np.concatenate(([0], np.cumsum(seg_counts)[:-1]))
     within = np.arange(rid.size) - seg_starts[rid]
-    ids = np.full((rows.size, m_max), -1, dtype=np.int64)
+    ids = np.full((n_rows, m_max), -1, dtype=np.int64)
     ids[rid, within] = cid
-    keys = rng.random((rows.size, m_max))
+    keys = rng.random((n_rows, m_max))
     keys[ids < 0] = np.inf  # padding never wins
     kth = min(take_max - 1, m_max - 1)
     part = np.argpartition(keys, kth, axis=1)[:, :take_max]
@@ -520,8 +670,8 @@ def _sample_sparse_rows(
     block = np.take_along_axis(keys, part, axis=1)
     part = np.take_along_axis(part, np.argsort(block, axis=1), axis=1)
     accept = np.arange(take_max)[None, :] < take[:, None]
-    targets = ids[np.arange(rows.size)[:, None], part][accept]
-    row_idx = np.broadcast_to(rows[:, None], accept.shape)[accept]
+    targets = ids[np.arange(n_rows)[:, None], part][accept]
+    row_idx = np.broadcast_to(np.arange(n_rows)[:, None], accept.shape)[accept]
     return row_idx, targets
 
 
@@ -538,13 +688,20 @@ def _mark_wave_duplicates(draws: np.ndarray) -> np.ndarray:
 
 def _sample_packed_rows(
     rng: np.random.Generator,
-    cand: np.ndarray,
+    cand: "np.ndarray | _PackedCandidates | _SparseComplementCandidates",
     counts: np.ndarray,
     want: np.ndarray,
     n_ranks: int,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample ``want[i]`` distinct set bits uniformly from each packed
     candidate row ``cand[i]``; returns flat ``(row index, rank id)``.
+
+    ``cand`` is a packed uint8 matrix or a candidate view (``test`` /
+    ``extract``); the sparse engine passes a complement view so its
+    candidates are never materialized, and because the control flow —
+    wave widths, draw shapes, the dense/sparse row split — depends only
+    on ``counts``/``want``, both backends consume the identical RNG
+    stream and pick identical targets.
 
     Hybrid fast path: rows with enough candidates draw uniform rank
     ids in vectorized waves and reject misses/duplicates — expected
@@ -554,6 +711,8 @@ def _sample_packed_rows(
     rows a capped wave budget could not fill) use the exact
     packed-byte sampler instead.
     """
+    if isinstance(cand, np.ndarray):
+        cand = _PackedCandidates(cand)
     empty = np.empty(0, dtype=np.int64)
     want = np.minimum(want, counts)
     # Rejection pays off while a couple of waves are expected to fill a
@@ -582,8 +741,7 @@ def _sample_packed_rows(
             width = min(max(width, 8), _MAX_WAVE_WIDTH)
             draws = rng.integers(0, n_ranks, size=(active.size, width))
             r = dense_rows[active]
-            bit = np.uint8(128) >> (draws & 7).astype(np.uint8)
-            ok = (cand[r[:, None], draws >> 3] & bit) != 0
+            ok = cand.test(r, draws)
             ok &= ~(draws[:, :, None] == slots[active][:, None, :]).any(axis=2)
             ok &= ~_mark_wave_duplicates(draws)
             # Accept each row's first `remaining` valid draws, in draw
@@ -606,25 +764,21 @@ def _sample_packed_rows(
         if active.size:  # pragma: no cover - probabilistic fallback
             # Clear already-picked bits and finish exactly.
             leftover = dense_rows[active]
-            residual = cand[leftover].copy()
+            residual = cand.extract(leftover)
             picked_rows = np.repeat(np.arange(active.size), filled[active])
             picked = slots[active][slots[active] >= 0]
             _clear_bits(residual, picked_rows, picked)
             extra_rows, extra_targets = _sample_sparse_rows(
-                rng,
-                residual,
-                np.arange(leftover.size),
-                need[active] - filled[active],
-                n_ranks,
+                rng, residual, need[active] - filled[active], n_ranks
             )
             out_rows.append(leftover[extra_rows])
             out_targets.append(extra_targets)
 
     if sparse_rows.size:
         s_rows, s_targets = _sample_sparse_rows(
-            rng, cand, sparse_rows, want[sparse_rows], n_ranks
+            rng, cand.extract(sparse_rows), want[sparse_rows], n_ranks
         )
-        out_rows.append(s_rows)
+        out_rows.append(sparse_rows[s_rows])
         out_targets.append(s_targets)
 
     if not out_rows:
@@ -638,6 +792,29 @@ def _clear_bits(matrix: np.ndarray, rows: np.ndarray, ids: np.ndarray) -> None:
     np.bitwise_and.at(matrix, (rows, ids >> 3), inv)
 
 
+#: Rows unpacked per trim pass. Trimming used to materialize *every*
+#: over-cap row as booleans at once — O(|over| x P) bytes, which at
+#: 2^17 ranks is a 16 GiB allocation per round. Fixed-size chunks keep
+#: trim memory O(chunk x P) regardless of how many rows are over cap;
+#: the "random" policy's key draws split along the same chunk
+#: boundaries, and row-chunked ``rng.random`` fills the identical
+#: stream as one full-matrix draw, so results are unchanged.
+_TRIM_CHUNK_ROWS = 64
+
+
+def _load_priority(loads: np.ndarray) -> np.ndarray:
+    """Rank of each rank under the (load, id) order the "lowest" trim
+    keeps: ``priority[q] = position of q in a stable sort by load``.
+
+    A permutation, so per-row selection can use ``argpartition`` on
+    integer keys (no ties) instead of a full-width stable argsort,
+    while keeping exactly the same survivor set.
+    """
+    prio = np.empty(loads.size, dtype=np.int64)
+    prio[np.argsort(loads, kind="stable")] = np.arange(loads.size)
+    return prio
+
+
 def _trim_rows_packed(
     know: PackedKnowledgeBitmap,
     ranks: np.ndarray,
@@ -649,7 +826,8 @@ def _trim_rows_packed(
 
     The loop engine trims after every merge; here the cap is enforced
     once per round after all of the round's merges — the same cap, a
-    statistically equivalent survivor set.
+    statistically equivalent survivor set. Rows are unpacked in
+    ``_TRIM_CHUNK_ROWS`` chunks so trim memory stays O(chunk x P).
     """
     cap = config.max_known
     if cap is None or ranks.size == 0:
@@ -658,17 +836,68 @@ def _trim_rows_packed(
     over = ranks[counts > cap]
     if over.size == 0:
         return
-    bools = np.unpackbits(know.packed[over], axis=1, count=know.n_ranks).view(bool)
+    n = know.n_ranks
+    lowest = config.trim_policy == "lowest"
+    if lowest:
+        prio = _load_priority(loads)
+    for start in range(0, over.size, _TRIM_CHUNK_ROWS):
+        rows = over[start : start + _TRIM_CHUNK_ROWS]
+        bools = np.unpackbits(know.packed[rows], axis=1, count=n).view(bool)
+        if lowest:
+            # Non-members get priority n — worse than any member — so
+            # the cap smallest keys are exactly the members lowest in
+            # the (load, id) order.
+            keys = np.where(bools, prio[None, :], np.int64(n))
+            keep = np.argpartition(keys, cap, axis=1)[:, :cap]
+        else:
+            keys = rng.random(bools.shape)
+            keys[~bools] = np.inf
+            keep = np.argpartition(keys, cap, axis=1)[:, :cap]
+        trimmed = np.zeros(bools.shape, dtype=np.uint8)
+        np.put_along_axis(trimmed, keep, 1, axis=1)
+        know.packed[rows] = np.packbits(trimmed, axis=1)
+
+
+def _trim_rows_sparse(
+    know: SparseKnowledge,
+    ranks: np.ndarray,
+    loads: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+) -> None:
+    """``max_known`` cap over sparse shards, bit-identical to the packed
+    trim: the same survivor sets, and for the "random" policy the same
+    RNG consumption (full-width key rows drawn in the same chunks —
+    only the member positions are ever *read*, but the stream must
+    match the packed engine draw for draw).
+    """
+    cap = config.max_known
+    if cap is None or ranks.size == 0:
+        return
+    shards = know.shards
+    rank_list = ranks.tolist()
+    lens = np.fromiter((shards[r].size for r in rank_list), np.int64, ranks.size)
+    over = ranks[lens > cap]
+    if over.size == 0:
+        return
     if config.trim_policy == "lowest":
-        keys = np.where(bools, loads[None, :], np.inf)
-        keep = np.argsort(keys, axis=1, kind="stable")[:, :cap]
-    else:
-        keys = rng.random(bools.shape)
-        keys[~bools] = np.inf
-        keep = np.argpartition(keys, cap, axis=1)[:, :cap]
-    trimmed = np.zeros(bools.shape, dtype=np.uint8)
-    np.put_along_axis(trimmed, keep, 1, axis=1)
-    know.packed[over] = np.packbits(trimmed, axis=1)
+        prio = _load_priority(loads)
+        for r in over.tolist():
+            shard = shards[r]
+            keep = shard[np.argpartition(prio[shard], cap - 1)[:cap]]
+            keep.sort()
+            shards[r] = keep
+        return
+    n = know.n_ranks
+    for start in range(0, over.size, _TRIM_CHUNK_ROWS):
+        chunk = over[start : start + _TRIM_CHUNK_ROWS]
+        keys = rng.random((chunk.size, n))
+        for i, r in enumerate(chunk.tolist()):
+            shard = shards[r]
+            member_keys = keys[i, shard]
+            keep = shard[np.argpartition(member_keys, cap - 1)[:cap]]
+            keep.sort()
+            shards[r] = keep
 
 
 def _run_coalesced_batched(
@@ -829,6 +1058,119 @@ def _run_coalesced_batched(
             idx = starts[layer] + j
             know.packed[targets_sorted[idx]] |= snap[sources_sorted[idx]]
         _trim_rows_packed(know, receivers, result.load_snapshot, config, rng)
+        initiating = False
+        senders = receivers
+        if senders.size == 0:  # pragma: no cover - targets imply receivers
+            break
+
+
+def _run_coalesced_sparse(
+    know: SparseKnowledge,
+    seeds: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+    result: GossipResult,
+) -> None:
+    """Round engine over :class:`SparseKnowledge` shards.
+
+    Structurally the batched engine with the packed candidate matrix
+    replaced by a :class:`_SparseComplementCandidates` view: nothing
+    O(P) per sender is ever materialized, so round cost scales with
+    shard sizes (bounded by ``max_known``) instead of ``P``. Because
+    the shared sampler's control flow depends only on ``counts`` /
+    ``want`` — identical here by construction — this engine consumes
+    the same RNG stream and picks the same targets as the packed
+    engine, draw for draw.
+
+    ``config.__post_init__`` guarantees no faults and no intra-node
+    bias on this path, so neither is handled here.
+    """
+    n_ranks = know.n_ranks
+    fanout = config.fanout
+    rpn = config.ranks_per_node
+    template = np.packbits(np.ones(n_ranks, dtype=bool))
+
+    senders = seeds.astype(np.int64)
+    initiating = True
+    for _round in range(1, config.rounds + 1):
+        result.per_round_messages.append(0)
+        result.per_round_senders.append(int(senders.size))
+        sender_list = senders.tolist()
+        # Shard references are the round's payload snapshot: every
+        # mutation in SparseKnowledge replaces a shard array rather
+        # than writing into it, so same-round merges cannot leak into
+        # these payloads (the packed engine copies rows for the same
+        # reason).
+        snap = [know.shards[s] for s in sender_list]
+        lens = np.fromiter((s.size for s in snap), np.int64, senders.size)
+        entries = lens
+        if initiating or not config.avoid_known:
+            counts = np.full(senders.size, n_ranks - 1, dtype=np.int64)
+            cand = _SparseComplementCandidates(
+                n_ranks, senders, None, None, None, template
+            )
+        else:
+            # Flat keys `row * P + id` over the row-major shard concat
+            # are globally sorted (shards are sorted, rows ascend), so
+            # membership for a whole wave is one searchsorted.
+            if int(lens.sum()):
+                flat_keys = np.repeat(
+                    np.arange(senders.size, dtype=np.int64) * n_ranks, lens
+                ) + np.concatenate(snap).astype(np.int64)
+            else:
+                flat_keys = np.empty(0, dtype=np.int64)
+            self_keys = np.arange(senders.size, dtype=np.int64) * n_ranks + senders
+            if flat_keys.size:
+                pos = np.searchsorted(flat_keys, self_keys)
+                knows_self = (
+                    flat_keys[np.minimum(pos, flat_keys.size - 1)] == self_keys
+                )
+            else:
+                knows_self = np.zeros(senders.size, dtype=bool)
+            counts = n_ranks - lens - (~knows_self)
+            cand = _SparseComplementCandidates(
+                n_ranks, senders, snap, lens, flat_keys, template
+            )
+
+        want = np.minimum(fanout, counts)
+        row_idx, targets = _sample_packed_rows(rng, cand, counts, want, n_ranks)
+        if targets.size == 0:
+            break
+        n = int(targets.size)
+        result.n_messages += n
+        result.bytes_sent += n * HEADER_BYTES + ENTRY_BYTES * int(
+            entries[row_idx].sum()
+        )
+        result.per_round_messages[-1] = n
+        result.inter_node_messages += int(
+            np.count_nonzero(targets // rpn != senders[row_idx] // rpn)
+        )
+        # Merge: group messages by receiver, union each receiver's
+        # current shard with all payload shards addressed to it.
+        order = np.argsort(targets, kind="stable")
+        targets_sorted = targets[order]
+        sources_sorted = row_idx[order]
+        receivers, starts = np.unique(targets_sorted, return_index=True)
+        bounds = np.append(starts, targets_sorted.size)
+        src_list = sources_sorted.tolist()
+        shards = know.shards
+        for i, r in enumerate(receivers.tolist()):
+            parts = [shards[r]]
+            for j in range(bounds[i], bounds[i + 1]):
+                parts.append(snap[src_list[j]])
+            merged = np.concatenate(parts)
+            if merged.size == 0:
+                shards[r] = merged
+                continue
+            # In-place sort + adjacency dedup == np.unique, minus the
+            # ~100us/call overhead that dominates saturated rounds
+            # (every rank is a receiver, so this loop runs P times).
+            merged.sort()
+            keep = np.empty(merged.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+            shards[r] = merged[keep]
+        _trim_rows_sparse(know, receivers, result.load_snapshot, config, rng)
         initiating = False
         senders = receivers
         if senders.size == 0:  # pragma: no cover - targets imply receivers

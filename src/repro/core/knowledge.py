@@ -16,6 +16,16 @@ bottleneck, so two dense representations are provided:
     (4096 ranks: 16.7 MB -> 2.1 MB), opening 2^15-rank experiments.
     This is what the batched gossip engine uses.
 
+Both dense forms still cost O(P^2) bits — 2 GiB packed at 2^17 ranks —
+so a third, sparse representation covers the high-rank-count regime:
+
+:class:`SparseKnowledge`
+    One sorted ``int32`` id shard per rank. Memory is O(sum |S^p|), so
+    under a ``max_known`` cap of c it is ~``4cP`` bytes (131072 ranks,
+    c=512: 268 MB vs 2 GiB packed). Rows exchanged by merges are id
+    arrays rather than bit rows; the batched gossip engine selects this
+    backend automatically at high rank counts (see ``GossipConfig``).
+
 Loads do not change during an inform stage, so ``LOAD^p`` is simply the
 global load snapshot restricted to ``S^p`` (see DESIGN.md § 5).
 """
@@ -26,7 +36,7 @@ import numpy as np
 
 from repro.util.validation import check_positive
 
-__all__ = ["KnowledgeBitmap", "PackedKnowledgeBitmap"]
+__all__ = ["KnowledgeBitmap", "PackedKnowledgeBitmap", "SparseKnowledge"]
 
 
 def _coverage_denominator(underloaded: np.ndarray) -> int:
@@ -251,3 +261,147 @@ class PackedKnowledgeBitmap:
     def memory_bytes(self) -> int:
         """Bytes held by the packed matrix (the ``P^2/8`` bound)."""
         return int(self.packed.nbytes)
+
+
+class SparseKnowledge:
+    """Knowledge sets ``S^p`` as per-rank sorted ``int32`` id shards.
+
+    Same API and semantics as :class:`KnowledgeBitmap`, but each rank's
+    set is a sorted, duplicate-free array of member rank ids instead of
+    a row of P bits. Methods that exchange rows (:meth:`merge`,
+    :meth:`merge_many`) take sorted id arrays; the :attr:`rows` property
+    materializes the boolean matrix for analysis/test code (read-only
+    copy — only sensible at small rank counts).
+
+    Shard arrays are treated as immutable: every mutation *replaces* a
+    rank's shard, so references handed out earlier (e.g. a gossip
+    round's payload snapshot) stay valid. Memory is O(sum |S^p|) plus
+    O(P) list overhead — with the inform stage's ``max_known`` cap this
+    is what makes 2^17-rank episodes fit in a laptop's RAM (131072
+    ranks, cap 512: ~268 MB of shards vs 2 GiB bit-packed).
+    """
+
+    __slots__ = ("n_ranks", "shards")
+
+    _ID_DTYPE = np.int32
+
+    def __init__(self, n_ranks: int) -> None:
+        check_positive("n_ranks", n_ranks)
+        self.n_ranks = int(n_ranks)
+        empty = np.empty(0, dtype=self._ID_DTYPE)
+        self.shards: list[np.ndarray] = [empty] * self.n_ranks
+
+    def _as_ids(self, members: np.ndarray | list[int]) -> np.ndarray:
+        ids = np.asarray(members, dtype=self._ID_DTYPE)
+        return ids
+
+    # -- KnowledgeBitmap API ------------------------------------------------
+
+    def add(self, rank: int, members: np.ndarray | list[int]) -> None:
+        """Add ``members`` to ``S^rank``."""
+        ids = self._as_ids(members)
+        if ids.size == 0:
+            return
+        self.shards[rank] = np.union1d(self.shards[rank], ids)
+
+    def add_self(self, ranks: np.ndarray) -> None:
+        """Seed each rank in ``ranks`` with knowledge of itself (Alg. 1 l.7)."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        shards = self.shards
+        for r in ranks.tolist():
+            shard = shards[r]
+            if shard.size == 0:
+                shards[r] = np.array([r], dtype=self._ID_DTYPE)
+            else:
+                shards[r] = np.union1d(shard, np.array([r], dtype=self._ID_DTYPE))
+
+    def clear(self) -> None:
+        """Empty every ``S^p``."""
+        empty = np.empty(0, dtype=self._ID_DTYPE)
+        self.shards = [empty] * self.n_ranks
+
+    def merge(self, dst: int, src_ids: np.ndarray) -> None:
+        """Merge a received id shard into ``S^dst`` (Alg. 1 l.16-17)."""
+        self.add(dst, src_ids)
+
+    def merge_many(self, dsts: np.ndarray, src_ids: np.ndarray) -> None:
+        """Merge one id shard into several destinations at once."""
+        ids = self._as_ids(src_ids)
+        for dst in np.asarray(dsts, dtype=np.int64).tolist():
+            self.shards[dst] = np.union1d(self.shards[dst], ids)
+
+    def known(self, rank: int) -> np.ndarray:
+        """``S^rank`` as a sorted array of rank ids."""
+        return self.shards[rank].astype(np.int64)
+
+    def knows(self, rank: int, other: int) -> bool:
+        """Whether ``rank`` knows ``other`` is underloaded."""
+        shard = self.shards[rank]
+        pos = int(np.searchsorted(shard, other))
+        return pos < shard.size and int(shard[pos]) == int(other)
+
+    def counts(self) -> np.ndarray:
+        """``|S^p|`` for every rank ``p``."""
+        return np.fromiter(
+            (s.size for s in self.shards), dtype=np.int64, count=self.n_ranks
+        )
+
+    def unknown_targets(self, rank: int) -> np.ndarray:
+        """``P \\ S^p`` minus self — candidate targets (Alg. 1 l.20)."""
+        mask = np.ones(self.n_ranks, dtype=bool)
+        mask[self.shards[rank]] = False
+        mask[rank] = False
+        return np.flatnonzero(mask)
+
+    def discard_members(self, ranks: np.ndarray) -> None:
+        """Remove ``ranks`` from every ``S^p``."""
+        ranks = np.asarray(ranks, dtype=self._ID_DTYPE)
+        if ranks.size == 0:
+            return
+        drop = np.unique(ranks)
+        shards = self.shards
+        for p, shard in enumerate(shards):
+            if shard.size == 0:
+                continue
+            keep = shard[~np.isin(shard, drop, assume_unique=True)]
+            if keep.size != shard.size:
+                shards[p] = keep
+
+    def coverage(self, underloaded: np.ndarray) -> float:
+        """Mean fraction of the underloaded set each rank knows.
+
+        One flat pass: concatenate every shard, test membership against
+        the underloaded mask, and segment-sum the hits per rank.
+        """
+        n_under = _coverage_denominator(underloaded)
+        if n_under == 0:
+            return 1.0
+        if underloaded.dtype == bool:
+            mask = np.asarray(underloaded, dtype=bool)
+        else:
+            mask = np.zeros(self.n_ranks, dtype=bool)
+            mask[underloaded] = True
+        lens = self.counts()
+        if int(lens.sum()) == 0:
+            return 0.0
+        flat = np.concatenate(self.shards)
+        hits = np.concatenate(([0], np.cumsum(mask[flat], dtype=np.int64)))
+        ends = np.cumsum(lens)
+        per_rank = hits[ends] - hits[ends - lens]
+        return float(per_rank.mean() / n_under)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The full boolean matrix, materialized (read-only copy).
+
+        O(P^2) — for analysis and tests at small rank counts only.
+        """
+        out = np.zeros((self.n_ranks, self.n_ranks), dtype=bool)
+        for p, shard in enumerate(self.shards):
+            out[p, shard] = True
+        out.flags.writeable = False
+        return out
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the shard arrays (the O(sum |S^p|) bound)."""
+        return int(sum(s.nbytes for s in self.shards))

@@ -1,0 +1,84 @@
+"""Structure-of-arrays rank/task state for the transfer stage.
+
+The reference transfer engine materializes ``rank_tasks`` as a Python
+``list[list[int]]`` — one boxed int per task, built and garbage-collected
+every stage. At 2^17 ranks / millions of tasks that construction alone
+dominates the stage. :class:`RankTaskState` replaces it with a CSR view
+over the assignment:
+
+- one stable ``argsort`` of the assignment gives a contiguous int32
+  task-id buffer grouped by rank (ascending task id within each rank,
+  exactly the naive construction order);
+- ``bounds[r]:bounds[r+1]`` delimits rank ``r``'s slice, so ``tasks(r)``
+  is an O(1) array view until rank ``r`` is first mutated;
+- mutations are sparse: only ranks that actually send or receive tasks
+  ever allocate (an override array for senders, an arrival list promoted
+  on first read for receivers). Untouched ranks — the vast majority at
+  scale — never leave the shared buffer.
+
+The float64 load vector and the int task->rank assignment stay plain
+contiguous ndarrays owned by the caller; this class only manages the
+inverse (rank->tasks) mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RankTaskState"]
+
+
+class RankTaskState:
+    """CSR rank->task mapping with sparse copy-on-write overrides.
+
+    Semantically equivalent to the ``list[list[int]]`` the reference
+    engine builds: ``tasks(r)`` returns rank ``r``'s task ids in the
+    same order (ascending construction order plus arrivals in arrival
+    order), ``append`` models a task arriving at a recipient, and
+    ``set_tasks`` replaces a sender's list after a pass.
+    """
+
+    __slots__ = ("n_ranks", "_by_rank", "_bounds", "_override", "_arrivals")
+
+    def __init__(self, assignment: np.ndarray, n_ranks: int) -> None:
+        assignment = np.asarray(assignment)
+        order = np.argsort(assignment, kind="stable")
+        #: int32 halves the buffer vs int64 task ids; 2^31 tasks is far
+        #: beyond anything the stage addresses.
+        self._by_rank = order.astype(np.int32, copy=False)
+        self._bounds = np.searchsorted(
+            assignment[order], np.arange(n_ranks + 1)
+        )
+        self.n_ranks = int(n_ranks)
+        self._override: dict[int, np.ndarray] = {}
+        self._arrivals: dict[int, list[int]] = {}
+
+    def tasks(self, rank: int) -> np.ndarray:
+        """Rank's current task ids (a shared view until first mutation).
+
+        Pending arrivals are promoted into an override array here — on
+        read, not on append — so a recipient that is never re-processed
+        costs only list appends.
+        """
+        arr = self._override.get(rank)
+        if arr is None:
+            arr = self._by_rank[self._bounds[rank] : self._bounds[rank + 1]]
+        pend = self._arrivals.pop(rank, None)
+        if pend:
+            arr = np.concatenate([arr, np.asarray(pend, dtype=arr.dtype)])
+            self._override[rank] = arr
+        return arr
+
+    def set_tasks(self, rank: int, tasks: np.ndarray) -> None:
+        """Replace a rank's task array (after a pass removes accepted)."""
+        self._override[rank] = tasks
+
+    def append(self, rank: int, task: int) -> None:
+        """Record one task arriving at ``rank`` (O(1) amortized)."""
+        self._arrivals.setdefault(rank, []).append(int(task))
+
+    def to_lists(self) -> list[list[int]]:
+        """Materialize as the reference ``list[list[int]]`` (tests)."""
+        return [
+            [int(t) for t in self.tasks(r)] for r in range(self.n_ranks)
+        ]

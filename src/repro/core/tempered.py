@@ -66,6 +66,16 @@ class TemperedConfig:
     cascade: bool = False  #: re-process ranks overloaded mid-stage
     nacks: bool = False  #: recipient-side vetoes (Menon's mechanism, § V-A)
     max_known: int | None = None  #: knowledge cap (limited-info gossip)
+    trim_policy: str = "random"  #: what the cap keeps (see GossipConfig)
+    #: Knowledge backend for the batched inform engine: "auto" /
+    #: "packed" / "sparse" (see :class:`~repro.core.gossip.GossipConfig`).
+    knowledge: str = "auto"
+    #: Transfer-stage engine: "soa" (structure-of-arrays rank state,
+    #: default) or "lists" (reference); see TransferConfig.
+    transfer_engine: str = "soa"
+    #: SoA inner-loop kernel: "python" or "numba" (jitted when numba is
+    #: installed, bit-identical fallback otherwise).
+    transfer_kernel: str = "python"
     #: Trial-level parallelism: None = historical serial semantics (one
     #: shared RNG stream); >= 1 = that many workers with spawned
     #: per-trial streams (bit-identical for any worker count >= 1).
@@ -101,6 +111,8 @@ class TemperedConfig:
             mode=self.gossip_mode,
             engine=self.gossip_engine,
             max_known=self.max_known,
+            trim_policy=self.trim_policy,
+            knowledge=self.knowledge,
             faults=self.faults,
         )
 
@@ -117,6 +129,8 @@ class TemperedConfig:
             max_passes=self.max_passes,
             cascade=self.cascade,
             nacks=self.nacks,
+            engine=self.transfer_engine,
+            kernel=self.transfer_kernel,
         )
 
     def lbaf_variant(self) -> "TemperedConfig":

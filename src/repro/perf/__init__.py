@@ -7,13 +7,23 @@ and writes ``BENCH_faults.json``, the imbalance-degradation-vs-loss
 table. See ``docs/performance.md`` and ``docs/fault_tolerance.md``.
 """
 
-from repro.perf.bench import BenchResult, format_report, run_benchmarks
+from repro.perf.bench import (
+    SCALE_RSS_BUDGET_MB,
+    SCALE_RUNGS,
+    BenchResult,
+    format_report,
+    run_benchmarks,
+    run_scale_ladder,
+)
 from repro.perf.faults import format_fault_report, run_fault_bench
 
 __all__ = [
     "BenchResult",
+    "SCALE_RSS_BUDGET_MB",
+    "SCALE_RUNGS",
     "format_report",
     "run_benchmarks",
+    "run_scale_ladder",
     "format_fault_report",
     "run_fault_bench",
 ]

@@ -41,7 +41,10 @@ timings are independent).
 
 from __future__ import annotations
 
+import multiprocessing
 import platform
+import resource
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -56,12 +59,47 @@ from repro.obs import StatsRegistry
 from repro.util.parallel import EXECUTOR_AUTO, effective_cpu_count, resolve_backend
 from repro.workloads.synthetic import paper_analysis_scenario
 
-__all__ = ["BenchResult", "run_benchmarks", "format_report"]
+__all__ = [
+    "BenchResult",
+    "run_benchmarks",
+    "run_scale_ladder",
+    "format_report",
+    "SCALE_RUNGS",
+    "SCALE_RSS_BUDGET_MB",
+    "LADDER_MAX_KNOWN",
+]
 
 #: The § V analysis scale (n_tasks, n_loaded_ranks, n_ranks).
 FULL_SCALE = (10_000, 16, 4096)
 #: CI-smoke scale for ``--quick``.
 QUICK_SCALE = (2_000, 8, 512)
+
+#: ``bench --scale`` ladder rungs (4k = the § V analysis rank count,
+#: 131k = the paper's headline BG/Q run). Each rung times one
+#: inform+transfer episode under the limited-information configuration
+#: that makes high rank counts tractable (``max_known`` cap, "lowest"
+#: trim) and records the peak RSS of a fresh subprocess running it.
+SCALE_RUNGS: dict[str, dict[str, int]] = {
+    "4k": {"n_ranks": 4_096, "n_loaded": 16, "tasks_full": 10_000, "tasks_quick": 10_000},
+    "32k": {"n_ranks": 32_768, "n_loaded": 64, "tasks_full": 500_000, "tasks_quick": 100_000},
+    "131k": {"n_ranks": 131_072, "n_loaded": 256, "tasks_full": 2_000_000, "tasks_quick": 500_000},
+}
+
+#: Knowledge cap for ladder rungs. 512 entries is deep knowledge for the
+#: transfer CMF while keeping every backend's state O(P x cap).
+LADDER_MAX_KNOWN = 512
+
+#: Peak-RSS ceiling per rung (MiB), asserted by the committed-bench
+#: floor checks and the CI scale-smoke gate. The 131k budget is the
+#: acceptance criterion of the scale-ladder milestone (< 8 GiB for a
+#: 131,072-rank / 2M-task episode).
+SCALE_RSS_BUDGET_MB = {"4k": 2_048, "32k": 4_096, "131k": 8_192}
+
+#: Rungs where the dense packed-bitmap backend / list-based transfer
+#: engine are still run as references. At 131k the dense knowledge
+#: matrix alone is ~2 GiB and each batched round copies it, so the rung
+#: runs the sparse/SoA stack only.
+_RUNG_REFERENCE = {"4k": True, "32k": True, "131k": False}
 
 
 @dataclass
@@ -93,12 +131,175 @@ def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
     return best, value
 
 
+def _peak_rss_mb() -> float:
+    """This process's lifetime peak RSS in MiB (``ru_maxrss``)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak / 1024.0 if sys.platform != "darwin" else peak / (1024.0 * 1024.0)
+
+
+def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str, Any]:
+    """Time one inform+transfer episode at a ladder rung (in-process).
+
+    Reference implementations (packed knowledge, list-based transfer)
+    run alongside the scaling stack where they are tractable
+    (``_RUNG_REFERENCE``), so the rung reports both the cost of the
+    stack that ships at that rank count and the ratio against the
+    alternative backend.
+    """
+    spec = SCALE_RUNGS[name]
+    n_ranks = spec["n_ranks"]
+    n_tasks = spec["tasks_quick"] if quick else spec["tasks_full"]
+    # Inform cost depends on rank count only, never task count, so the
+    # full k=10 rounds stay affordable in quick mode — and the quick-CI
+    # backend ratio then measures the same saturated-round regime the
+    # committed full-scale bench gates.
+    rounds = 10
+    reps = {"4k": repeats, "32k": min(repeats, 2), "131k": 1}[name]
+    dist = paper_analysis_scenario(
+        n_tasks=n_tasks,
+        n_loaded_ranks=spec["n_loaded"],
+        n_ranks=n_ranks,
+        seed=seed,
+    )
+    loads = np.bincount(dist.assignment, weights=dist.task_loads, minlength=n_ranks)
+    base = dict(rounds=rounds, max_known=LADDER_MAX_KNOWN, trim_policy="lowest")
+    auto_backend = GossipConfig(**base).resolve_knowledge(n_ranks)
+    backends = ("packed", "sparse") if _RUNG_REFERENCE[name] else ("sparse",)
+
+    inform_secs: dict[str, float] = {}
+    inform_mem: dict[str, float] = {}
+    inform_messages: dict[str, int] = {}
+    gossip = None
+    for backend in backends:
+        config = GossipConfig(knowledge=backend, **base)
+
+        def bench_inform(config=config):
+            return run_inform_stage(
+                loads,
+                config,
+                np.random.default_rng(seed + 1),
+                average_load=dist.average_load,
+            )
+
+        secs, stage = _time_best(bench_inform, reps)
+        inform_secs[backend] = secs
+        inform_messages[backend] = stage.n_messages
+        mem = getattr(stage.knowledge, "memory_bytes", None)
+        inform_mem[backend] = (mem() / 2**20) if mem is not None else 0.0
+        if backend == auto_backend or gossip is None:
+            gossip = stage
+
+    engines = ("lists", "soa") if _RUNG_REFERENCE[name] else ("soa",)
+    transfer_secs: dict[str, float] = {}
+    transfer_counts: dict[str, int] = {}
+    for engine in engines:
+        config = TransferConfig(engine=engine)
+
+        def bench_transfer(config=config):
+            assignment = np.array(dist.assignment, copy=True)
+            return transfer_stage(
+                assignment,
+                dist.task_loads,
+                gossip,
+                config,
+                np.random.default_rng(seed + 2),
+            )
+
+        secs, stats = _time_best(bench_transfer, reps)
+        transfer_secs[engine] = secs
+        transfer_counts[engine] = stats.transfers
+
+    return {
+        "scale": name,
+        "n_ranks": n_ranks,
+        "n_tasks": n_tasks,
+        "n_loaded_ranks": spec["n_loaded"],
+        "rounds": rounds,
+        "max_known": LADDER_MAX_KNOWN,
+        "trim_policy": "lowest",
+        "repeats": reps,
+        "auto_backend": auto_backend,
+        "inform_seconds": inform_secs,
+        "inform_messages": inform_messages,
+        "knowledge_memory_mb": inform_mem,
+        "transfer_seconds": transfer_secs,
+        "transfers": transfer_counts,
+        "equivalent_transfers": len(set(transfer_counts.values())) <= 1,
+        "peak_rss_budget_mb": SCALE_RSS_BUDGET_MB[name],
+    }
+
+
+def _scale_rung_worker(conn, name: str, quick: bool, repeats: int, seed: int) -> None:
+    """Spawn target: run one rung and ship the result over a pipe.
+
+    Runs in a fresh process so ``ru_maxrss`` — a process-lifetime
+    high-water mark — measures this rung alone, not whatever larger
+    rung or suite ran earlier in the parent.
+    """
+    try:
+        payload = _run_scale_rung(name, quick, repeats, seed)
+        payload["peak_rss_mb"] = _peak_rss_mb()
+        conn.send(payload)
+    except BaseException as exc:  # pragma: no cover - surfaced in the parent
+        conn.send({"scale": name, "error": repr(exc)})
+    finally:
+        conn.close()
+
+
+def run_scale_ladder(
+    scale: str, quick: bool = False, repeats: int = 3, seed: int = 0
+) -> list[dict[str, Any]]:
+    """Run the ``--scale`` ladder and return one record per rung.
+
+    ``scale`` is a rung name or ``"all"``. Each rung runs in a spawned
+    subprocess so its ``peak_rss_mb`` is a per-rung measurement; if the
+    platform cannot spawn, the rung runs in-process and the record is
+    flagged ``"subprocess": False`` (its RSS then includes the parent's
+    history and is an upper bound).
+    """
+    if scale == "all":
+        rungs = list(SCALE_RUNGS)
+    elif scale in SCALE_RUNGS:
+        rungs = [scale]
+    else:
+        raise ValueError(
+            f"scale must be one of {[*SCALE_RUNGS, 'all']}, got {scale!r}"
+        )
+    records = []
+    for name in rungs:
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_scale_rung_worker, args=(send, name, quick, repeats, seed)
+            )
+            proc.start()
+            send.close()
+            try:
+                record = recv.recv()
+            except EOFError:
+                record = {"scale": name, "error": "rung worker died without a result"}
+            finally:
+                proc.join()
+            record["subprocess"] = True
+        except (ImportError, OSError, ValueError):
+            record = _run_scale_rung(name, quick, repeats, seed)
+            record["peak_rss_mb"] = _peak_rss_mb()
+            record["subprocess"] = False
+        if "error" in record:
+            raise RuntimeError(f"scale rung {name} failed: {record['error']}")
+        records.append(record)
+    return records
+
+
 def run_benchmarks(
     quick: bool = False,
     repeats: int = 3,
     seed: int = 0,
     workers: int | None = None,
     executor: str = EXECUTOR_AUTO,
+    scale: str | None = None,
 ) -> dict[str, Any]:
     """Run every benchmark case and return the ``BENCH_perf.json`` payload.
 
@@ -108,6 +309,14 @@ def run_benchmarks(
     resolution rule — the process backend wherever a second core and
     ``fork`` exist, the serial loop where a pool cannot win — and the
     payload records both the requested and the resolved backend.
+
+    ``scale`` additionally runs the rank-count ladder (a rung name or
+    ``"all"``; see :func:`run_scale_ladder`): the payload gains a
+    ``scale_ladder`` section, per-rung benchmark rows tagged with their
+    rung, and one ``inform_backend_auto_vs_alt_<rung>`` speedup per
+    rung where the alternative backend was tractable — the ratio that
+    proves ``knowledge="auto"`` picks the faster backend at that rank
+    count.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -145,6 +354,11 @@ def run_benchmarks(
                 {
                     "messages": stage.n_messages,
                     "coverage": float(stage.coverage()),
+                    "knowledge": (
+                        "dense"
+                        if engine == "loop"
+                        else GossipConfig().resolve_knowledge(n_ranks)
+                    ),
                     # f * |senders| messages every round (candidate sets
                     # never run dry at bench scale) — the model both
                     # engines must satisfy for the comparison to be
@@ -268,6 +482,55 @@ def run_benchmarks(
             refine_secs["serial"] / refine_secs["parallel"]
         ),
     }
+
+    # -- rank-count ladder (opt-in via ``scale``) ---------------------------
+    ladder: list[dict[str, Any]] = []
+    if scale is not None:
+        ladder = run_scale_ladder(scale, quick=quick, repeats=repeats, seed=seed)
+        for rung in ladder:
+            tag = {
+                "scale": rung["scale"],
+                "n_ranks": rung["n_ranks"],
+                "n_tasks": rung["n_tasks"],
+            }
+            for backend, secs in rung["inform_seconds"].items():
+                results.append(
+                    BenchResult(
+                        f"inform/{backend}",
+                        secs,
+                        rung["repeats"],
+                        {
+                            **tag,
+                            "knowledge": backend,
+                            "messages": rung["inform_messages"][backend],
+                            "knowledge_memory_mb": rung["knowledge_memory_mb"][backend],
+                        },
+                    )
+                )
+            for engine, secs in rung["transfer_seconds"].items():
+                results.append(
+                    BenchResult(
+                        f"transfer/{engine}",
+                        secs,
+                        rung["repeats"],
+                        {
+                            **tag,
+                            "knowledge": rung["auto_backend"],
+                            "engine": engine,
+                            "transfers": rung["transfers"][engine],
+                        },
+                    )
+                )
+            # The gated ladder invariant: whatever backend "auto" picks
+            # at this rank count must beat the alternative. Rungs run
+            # without a reference backend (131k) contribute timing and
+            # RSS data only — there is nothing tractable to race.
+            alts = [b for b in rung["inform_seconds"] if b != rung["auto_backend"]]
+            if alts:
+                speedups[f"inform_backend_auto_vs_alt_{rung['scale']}"] = (
+                    rung["inform_seconds"][alts[0]]
+                    / rung["inform_seconds"][rung["auto_backend"]]
+                )
     # Stage timers are cumulative per trial and measure elapsed time
     # inside each worker (descheduled slices included); wall.refinement
     # is the true span. Their ratio is the utilization of the parallel
@@ -293,6 +556,7 @@ def run_benchmarks(
         },
         "benchmarks": [r.to_dict() for r in results],
         "speedups": speedups,
+        "scale_ladder": ladder,
         "wall_timers": wall_timers,
         "refinement_parallel": {
             "executor": parallel_backend,
@@ -309,9 +573,16 @@ def run_benchmarks(
 
 
 def format_report(payload: dict[str, Any]) -> str:
-    """Human-readable digest of a :func:`run_benchmarks` payload."""
+    """Human-readable digest of a :func:`run_benchmarks` payload.
+
+    Rows are no longer all at one scale: ladder rows carry their own
+    rung and knowledge backend, so each line leads with its rung label
+    (``meta.scale`` for the classic suite) and the per-row detail
+    includes the backend where one applies.
+    """
     meta = payload["meta"]
     scale = meta["scale"]
+    base_label = f"{scale['n_ranks']}r"
     lines = [
         f"perf bench ({'quick' if meta['quick'] else 'full'} scale: "
         f"{scale['n_tasks']} tasks, {scale['n_ranks']} ranks; "
@@ -319,19 +590,33 @@ def format_report(payload: dict[str, Any]) -> str:
         "",
     ]
     width = max(len(b["name"]) for b in payload["benchmarks"])
+    label_width = max(
+        len(str(b.get("scale", base_label))) for b in payload["benchmarks"]
+    )
     for bench in payload["benchmarks"]:
         detail = ", ".join(
             f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
             for k, v in bench.items()
-            if k not in ("name", "seconds", "repeats")
+            if k not in ("name", "seconds", "repeats", "scale")
         )
+        label = str(bench.get("scale", base_label))
         lines.append(
-            f"  {bench['name']:<{width}}  {bench['seconds'] * 1e3:9.2f} ms"
+            f"  [{label:>{label_width}}] {bench['name']:<{width}}"
+            f"  {bench['seconds'] * 1e3:9.2f} ms"
             + (f"  ({detail})" if detail else "")
         )
     lines.append("")
     for name, value in payload["speedups"].items():
         lines.append(f"  speedup {name}: {value:.2f}x")
+    for rung in payload.get("scale_ladder", ()):
+        lines.append(
+            f"  rung {rung['scale']}: {rung['n_ranks']} ranks, "
+            f"{rung['n_tasks']} tasks, auto={rung['auto_backend']}, "
+            f"peak RSS {rung['peak_rss_mb']:.0f} MB "
+            f"(budget {rung['peak_rss_budget_mb']} MB"
+            + ("" if rung.get("subprocess", True) else ", in-process upper bound")
+            + ")"
+        )
     refinement = payload.get("refinement_parallel")
     if refinement and refinement["wall_seconds"]:
         lines.append(

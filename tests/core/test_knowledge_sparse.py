@@ -1,0 +1,200 @@
+"""Unit tests for SparseKnowledge — parity with the boolean reference.
+
+The sparse shard representation must be observationally identical to
+``KnowledgeBitmap`` through the whole API while holding only
+``O(sum |S^p|)`` bytes. A second battery runs both compact backends
+(packed bits and sparse shards) through awkward rank counts — 1, 7 and
+4097 — where byte padding, single-row matrices and partial last bytes
+are most likely to leak.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge import (
+    KnowledgeBitmap,
+    PackedKnowledgeBitmap,
+    SparseKnowledge,
+)
+
+
+def _pair(n):
+    return KnowledgeBitmap(n), SparseKnowledge(n)
+
+
+class TestSparseBasics:
+    def test_initially_empty(self):
+        k = SparseKnowledge(10)
+        assert k.counts().sum() == 0
+        assert k.known(3).size == 0
+        assert not k.knows(0, 9)
+
+    def test_add_and_query(self):
+        k = SparseKnowledge(12)
+        k.add(0, [7, 1, 11, 8])
+        assert list(k.known(0)) == [1, 7, 8, 11]  # sorted, deduped
+        assert k.knows(0, 7) and k.knows(0, 11)
+        assert not k.knows(0, 6)
+
+    def test_add_empty_is_noop(self):
+        k = SparseKnowledge(8)
+        k.add(1, [])
+        assert k.counts().sum() == 0
+
+    def test_add_self_seeds_diagonal(self):
+        k = SparseKnowledge(20)
+        k.add_self(np.array([1, 9, 17]))
+        assert k.knows(1, 1) and k.knows(9, 9) and k.knows(17, 17)
+        assert not k.knows(2, 2)
+        assert k.counts().sum() == 3
+
+    def test_merge_is_union_of_shards(self):
+        k = SparseKnowledge(10)
+        k.add(0, [1])
+        k.add(1, [2, 9])
+        k.merge(0, k.shards[1])
+        assert list(k.known(0)) == [1, 2, 9]
+
+    def test_shards_are_replaced_not_mutated(self):
+        # The round-payload discipline: a reference taken before a merge
+        # must still hold the pre-merge members afterwards.
+        k = SparseKnowledge(10)
+        k.add(0, [3])
+        snapshot = k.shards[0]
+        k.add(0, [5, 7])
+        assert list(snapshot) == [3]
+        assert list(k.known(0)) == [3, 5, 7]
+
+    def test_unknown_targets_excludes_known_and_self(self):
+        k = SparseKnowledge(10)
+        k.add(0, [1, 9])
+        assert list(k.unknown_targets(0)) == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_discard_members(self):
+        ref, sparse = _pair(16)
+        for k in (ref, sparse):
+            k.add(0, [1, 2, 3])
+            k.add(5, [2, 8])
+            k.discard_members(np.array([2, 3]))
+        np.testing.assert_array_equal(sparse.rows, ref.rows)
+
+    def test_coverage_matches_reference(self):
+        rng = np.random.default_rng(7)
+        ref, sparse = _pair(37)
+        under = rng.random(37) < 0.4
+        for rank in range(37):
+            members = np.flatnonzero(rng.random(37) < 0.3)
+            ref.add(rank, members)
+            sparse.add(rank, members)
+        ids = np.flatnonzero(under)
+        for u in (under, ids):
+            assert sparse.coverage(u) == pytest.approx(ref.coverage(u))
+        assert sparse.coverage(np.zeros(37, dtype=bool)) == 1.0
+
+    def test_memory_is_sum_of_shards(self):
+        k = SparseKnowledge(1000)
+        assert k.memory_bytes() == 0
+        k.add(0, [1, 2, 3])
+        k.add(999, [0])
+        assert k.memory_bytes() == 4 * np.dtype(np.int32).itemsize
+
+
+class TestSparseParity:
+    """Randomized API-level equivalence against the boolean reference."""
+
+    def test_randomized_operations_match(self):
+        rng = np.random.default_rng(42)
+        n = 26
+        ref, sparse = _pair(n)
+        for _ in range(200):
+            op = rng.integers(4)
+            if op == 0:
+                rank = int(rng.integers(n))
+                members = rng.choice(n, size=int(rng.integers(1, 6)), replace=False)
+                ref.add(rank, members)
+                sparse.add(rank, members)
+            elif op == 1:
+                ranks = rng.choice(n, size=3, replace=False)
+                ref.add_self(ranks)
+                sparse.add_self(ranks)
+            elif op == 2:
+                src, dst = rng.choice(n, size=2, replace=False)
+                ref.merge(int(dst), ref.rows[int(src)])
+                sparse.merge(int(dst), sparse.shards[int(src)])
+            else:
+                src = int(rng.integers(n))
+                dsts = rng.choice(n, size=2, replace=False)
+                ref.merge_many(dsts, ref.rows[src])
+                sparse.merge_many(dsts, sparse.shards[src])
+        np.testing.assert_array_equal(sparse.rows, ref.rows)
+        np.testing.assert_array_equal(sparse.counts(), ref.counts())
+        for rank in range(n):
+            np.testing.assert_array_equal(sparse.known(rank), ref.known(rank))
+            np.testing.assert_array_equal(
+                sparse.unknown_targets(rank), ref.unknown_targets(rank)
+            )
+
+
+def _payload(k, rank):
+    """The row in whatever form the backend's merge expects."""
+    return k.packed[rank] if isinstance(k, PackedKnowledgeBitmap) else k.shards[rank]
+
+
+@pytest.mark.parametrize("backend", [PackedKnowledgeBitmap, SparseKnowledge])
+@pytest.mark.parametrize("n", [1, 7, 4097])
+class TestCompactBackendEdgeCounts:
+    """Awkward rank counts for both compact backends.
+
+    1 rank: every operation touches the only row; the packed byte has 7
+    padding bits. 7 ranks: a single partial byte. 4097 ranks: one rank
+    past a power of two, 513 bytes per packed row with 7 padding bits in
+    the last.
+    """
+
+    def test_merge_many_unions_every_destination(self, backend, n):
+        k = backend(n)
+        members = [0] if n == 1 else [0, n - 1, n // 2]
+        src = n - 1
+        k.add(src, members)
+        dsts = np.arange(n)[: min(n, 5)]
+        k.merge_many(dsts, _payload(k, src))
+        expect = sorted(set(members))
+        for dst in dsts:
+            assert list(k.known(int(dst))) == expect
+
+    def test_clear_empties_every_row(self, backend, n):
+        k = backend(n)
+        k.add_self(np.arange(n)[: min(n, 8)])
+        k.add(0, [n - 1])
+        k.clear()
+        assert k.counts().sum() == 0
+        assert k.known(0).size == 0
+        assert list(k.unknown_targets(0)) == list(range(1, n))
+
+    def test_rows_shape_and_content(self, backend, n):
+        k = backend(n)
+        k.add(0, [n - 1])
+        if n > 1:
+            k.add(n - 1, [0, n - 2])
+        rows = k.rows
+        assert rows.shape == (n, n) and rows.dtype == bool
+        expect = np.zeros((n, n), dtype=bool)
+        expect[0, n - 1] = True
+        if n > 1:
+            expect[n - 1, [0, n - 2]] = True
+        np.testing.assert_array_equal(rows, expect)
+
+    def test_no_padding_or_out_of_range_leakage(self, backend, n):
+        # Fill every row completely: counts must cap at n, and no id
+        # >= n (a padding bit, in the packed case) may ever surface.
+        k = backend(n)
+        everyone = np.arange(n)
+        for rank in range(min(n, 9)):
+            k.add(rank, everyone)
+            assert k.counts()[rank] == n
+            assert k.known(rank).max() == n - 1
+            assert k.unknown_targets(rank).size == 0
+        # A merge of a full row must not overflow either.
+        k.merge_many(np.arange(min(n, 3)), _payload(k, 0))
+        assert k.counts().max() == n
+        assert k.rows.sum() == min(n, 9) * n

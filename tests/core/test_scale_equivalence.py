@@ -1,0 +1,181 @@
+"""The scaling stack is bit-identical to the reference stack.
+
+``knowledge="sparse"`` gossip + ``engine="soa"`` transfer exist purely
+for memory and wall-time at high rank counts — every decision they make
+must be the one the packed-bitmap + list-based stack makes. These tests
+drive both stacks through full inform+transfer episodes over 20 seeds
+at 512 and 4,096 ranks and require exact equality of the knowledge
+matrix, the per-round sender/message accounting, the transferred
+assignment and the stats counters — plus the final RNG state, so the
+stacks consume the identical stream and stay interchangeable
+mid-episode.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.gossip import (
+    SPARSE_AUTO_MIN_RANKS,
+    GossipConfig,
+    run_inform_stage,
+)
+from repro.core.tempered import TemperedConfig
+from repro.core.transfer import TransferConfig, transfer_stage
+
+SEEDS = range(20)
+
+
+def _scenario(n_ranks, n_tasks, seed):
+    rng = np.random.default_rng(seed)
+    task_loads = rng.gamma(3.0, 0.3, size=n_tasks)
+    # All load on a hot prefix: plenty of overloaded senders and a wide
+    # underloaded gossip population.
+    assignment = rng.integers(0, max(2, n_ranks // 32), size=n_tasks)
+    loads = np.bincount(assignment, weights=task_loads, minlength=n_ranks)
+    return assignment, task_loads, loads
+
+
+def _run_stack(knowledge, engine, loads, assignment, task_loads, gossip_cfg, seed):
+    gossip = run_inform_stage(
+        loads,
+        dataclasses.replace(gossip_cfg, knowledge=knowledge),
+        np.random.default_rng(seed + 1),
+    )
+    moved = np.array(assignment, copy=True)
+    rng = np.random.default_rng(seed + 2)
+    stats = transfer_stage(
+        moved, task_loads, gossip, TransferConfig(engine=engine), rng
+    )
+    return gossip, moved, stats, rng.bit_generator.state
+
+
+def _assert_episodes_equal(ref, new):
+    g_ref, a_ref, s_ref, state_ref = ref
+    g_new, a_new, s_new, state_new = new
+    np.testing.assert_array_equal(g_new.knowledge.rows, g_ref.knowledge.rows)
+    assert g_new.n_messages == g_ref.n_messages
+    assert g_new.bytes_sent == g_ref.bytes_sent
+    assert g_new.per_round_senders == g_ref.per_round_senders
+    assert g_new.per_round_messages == g_ref.per_round_messages
+    assert g_new.rounds_run == g_ref.rounds_run
+    np.testing.assert_array_equal(a_new, a_ref)
+    assert dataclasses.asdict(s_new) == dataclasses.asdict(s_ref)
+    assert state_new == state_ref
+
+
+class TestStackEquivalence:
+    @pytest.mark.parametrize(
+        "n_ranks,n_tasks,gossip_cfg",
+        [
+            (512, 1_500, GossipConfig(fanout=3, rounds=4)),
+            (512, 1_500, GossipConfig(fanout=3, rounds=4, max_known=48)),
+            (
+                512,
+                1_500,
+                GossipConfig(
+                    fanout=3, rounds=4, max_known=48, trim_policy="lowest"
+                ),
+            ),
+            (
+                4_096,
+                6_000,
+                GossipConfig(
+                    fanout=3, rounds=3, max_known=64, trim_policy="lowest"
+                ),
+            ),
+            (4_096, 6_000, GossipConfig(fanout=3, rounds=3, max_known=64)),
+        ],
+        ids=["512-uncapped", "512-random", "512-lowest", "4k-lowest", "4k-random"],
+    )
+    def test_sparse_soa_equals_packed_lists_20_seeds(
+        self, n_ranks, n_tasks, gossip_cfg
+    ):
+        for seed in SEEDS:
+            assignment, task_loads, loads = _scenario(n_ranks, n_tasks, seed)
+            ref = _run_stack(
+                "packed", "lists", loads, assignment, task_loads, gossip_cfg, seed
+            )
+            new = _run_stack(
+                "sparse", "soa", loads, assignment, task_loads, gossip_cfg, seed
+            )
+            _assert_episodes_equal(ref, new)
+
+
+class TestKnowledgeKnob:
+    def test_sparse_requires_batched_coalesced(self):
+        with pytest.raises(ValueError):
+            GossipConfig(knowledge="sparse", engine="loop")
+        with pytest.raises(ValueError):
+            GossipConfig(knowledge="sparse", mode="per_message")
+
+    def test_sparse_rejects_bias_and_faults(self):
+        from repro.sim.faults import FaultConfig
+
+        with pytest.raises(ValueError):
+            GossipConfig(knowledge="sparse", ranks_per_node=8, intra_node_bias=0.5)
+        with pytest.raises(ValueError):
+            GossipConfig(knowledge="sparse", faults=FaultConfig(loss_rate=0.1))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            GossipConfig(knowledge="csr")
+
+    def test_auto_resolution_rule(self):
+        capped = GossipConfig(max_known=512)
+        assert capped.resolve_knowledge(SPARSE_AUTO_MIN_RANKS) == "sparse"
+        assert capped.resolve_knowledge(SPARSE_AUTO_MIN_RANKS - 1) == "packed"
+        # No cap -> shards are O(P^2) too; auto stays packed.
+        assert GossipConfig().resolve_knowledge(SPARSE_AUTO_MIN_RANKS) == "packed"
+        # Packed-only features keep auto on packed at any rank count.
+        biased = GossipConfig(max_known=512, ranks_per_node=8, intra_node_bias=0.5)
+        assert biased.resolve_knowledge(SPARSE_AUTO_MIN_RANKS) == "packed"
+        # Explicit selection wins regardless of rank count.
+        assert GossipConfig(knowledge="sparse").resolve_knowledge(8) == "sparse"
+        assert (
+            GossipConfig(knowledge="packed").resolve_knowledge(SPARSE_AUTO_MIN_RANKS)
+            == "packed"
+        )
+
+    def test_explicit_sparse_matches_packed_at_tiny_scale(self):
+        # The backend knob is a pure representation choice even far
+        # below the auto threshold.
+        loads = np.array([9.0, 0.5, 0.25, 0.25, 4.0, 0.0, 1.0, 0.0])
+        results = {}
+        for backend in ("packed", "sparse"):
+            results[backend] = run_inform_stage(
+                loads,
+                GossipConfig(fanout=2, rounds=3, knowledge=backend),
+                np.random.default_rng(5),
+            )
+        np.testing.assert_array_equal(
+            results["sparse"].knowledge.rows, results["packed"].knowledge.rows
+        )
+        assert results["sparse"].n_messages == results["packed"].n_messages
+
+
+class TestTemperedPassthrough:
+    def test_knobs_reach_stage_configs(self):
+        config = TemperedConfig(
+            knowledge="sparse",
+            max_known=128,
+            transfer_engine="lists",
+            transfer_kernel="numba",
+        )
+        assert config.gossip_config().knowledge == "sparse"
+        assert config.gossip_config().max_known == 128
+        assert config.transfer_config().engine == "lists"
+        assert config.transfer_config().kernel == "numba"
+
+    def test_defaults_are_auto_soa_python(self):
+        config = TemperedConfig()
+        assert config.gossip_config().knowledge == "auto"
+        assert config.transfer_config().engine == "soa"
+        assert config.transfer_config().kernel == "python"
+
+    def test_invalid_knowledge_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            TemperedConfig(knowledge="bitset")
+        with pytest.raises(ValueError):
+            TemperedConfig(transfer_engine="dataframe")

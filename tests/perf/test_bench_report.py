@@ -1,0 +1,105 @@
+"""Report/plumbing tests for the perf bench and its scale ladder.
+
+Timing itself is covered by ``benchmarks/`` and the CI gates; here we
+pin the cheap contracts: the report prints each row's own scale rung
+and knowledge backend (rows are no longer all at one scale), the rung
+table is well-formed, and the ladder rejects unknown rungs without
+spawning anything.
+"""
+
+import pytest
+
+from repro.perf import SCALE_RSS_BUDGET_MB, SCALE_RUNGS, format_report
+from repro.perf.bench import LADDER_MAX_KNOWN, run_scale_ladder
+
+
+def _payload():
+    return {
+        "meta": {
+            "quick": True,
+            "repeats": 1,
+            "scale": {"n_tasks": 2000, "n_loaded_ranks": 8, "n_ranks": 512},
+        },
+        "benchmarks": [
+            {
+                "name": "inform/batched",
+                "seconds": 0.02,
+                "repeats": 1,
+                "knowledge": "packed",
+            },
+            {
+                "name": "inform/sparse",
+                "seconds": 2.5,
+                "repeats": 1,
+                "scale": "32k",
+                "knowledge": "sparse",
+                "n_ranks": 32768,
+            },
+        ],
+        "speedups": {"inform_backend_auto_vs_alt_32k": 6.5},
+        "scale_ladder": [
+            {
+                "scale": "32k",
+                "n_ranks": 32768,
+                "n_tasks": 100000,
+                "auto_backend": "sparse",
+                "peak_rss_mb": 740.0,
+                "peak_rss_budget_mb": 4096,
+                "subprocess": True,
+            }
+        ],
+        "wall_timers": {},
+    }
+
+
+class TestFormatReport:
+    def test_rows_lead_with_their_own_rung(self):
+        report = format_report(_payload())
+        lines = report.splitlines()
+        classic = next(l for l in lines if "inform/batched" in l)
+        ladder = next(l for l in lines if "inform/sparse" in l)
+        # Classic rows carry the meta scale, ladder rows their rung
+        # (labels are right-justified to a common width).
+        assert "512r]" in classic
+        assert "32k]" in ladder
+
+    def test_knowledge_backend_printed_per_row(self):
+        report = format_report(_payload())
+        lines = report.splitlines()
+        assert "knowledge=packed" in next(l for l in lines if "inform/batched" in l)
+        assert "knowledge=sparse" in next(l for l in lines if "inform/sparse" in l)
+
+    def test_rung_summary_includes_rss_and_budget(self):
+        report = format_report(_payload())
+        rung = next(l for l in report.splitlines() if l.strip().startswith("rung"))
+        assert "740" in rung and "4096" in rung and "auto=sparse" in rung
+
+    def test_in_process_rss_is_flagged(self):
+        payload = _payload()
+        payload["scale_ladder"][0]["subprocess"] = False
+        report = format_report(payload)
+        assert "upper bound" in report
+
+    def test_report_without_ladder_still_renders(self):
+        payload = _payload()
+        del payload["scale_ladder"]
+        report = format_report(payload)
+        assert "rung" not in report
+        assert "inform/batched" in report
+
+
+class TestLadderPlumbing:
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(ValueError, match="scale must be one of"):
+            run_scale_ladder("64k")
+
+    def test_rung_table_is_consistent(self):
+        assert set(SCALE_RSS_BUDGET_MB) == set(SCALE_RUNGS)
+        assert LADDER_MAX_KNOWN > 0
+        for name, spec in SCALE_RUNGS.items():
+            assert spec["tasks_quick"] <= spec["tasks_full"]
+            assert spec["n_loaded"] < spec["n_ranks"]
+            # Rung rank counts are exact powers of two (2^12..2^17).
+            assert spec["n_ranks"] & (spec["n_ranks"] - 1) == 0
+        # The acceptance budget: the 131k rung must fit in 8 GiB.
+        assert SCALE_RSS_BUDGET_MB["131k"] == 8192
