@@ -72,6 +72,11 @@ def test_committed_bench_scale_ladder_floors(benchmark):
         assert value >= 1.0, f"speedups.{name} = {value:.2f} regressed below 1.0"
     for rung in ("4k", "32k"):
         assert f"inform_backend_auto_vs_alt_{rung}" in payload["speedups"], rung
+    # The fused sparse inform driver vs the pure-Python reference at
+    # 32k ranks — the compiled-kernel milestone's acceptance floor.
+    assert payload["speedups"]["inform_sparse_kernel_vs_python"] >= 1.5, (
+        "fused sparse driver lost its >= 1.5x edge over the reference"
+    )
     ladder = {r["scale"]: r for r in payload["scale_ladder"]}
     assert set(ladder) == set(SCALE_RSS_BUDGET_MB)
     for name, rung in ladder.items():
@@ -81,5 +86,12 @@ def test_committed_bench_scale_ladder_floors(benchmark):
             f"over the {budget} MB budget"
         )
         assert rung["equivalent_transfers"], name
+        assert rung["kernel_equivalent"], name
+        # Every rung must carry its full-episode refinement case with
+        # stage walls — the whole-loop timing the ladder now headlines.
+        episode = rung["refinement"]
+        assert episode["seconds"] > 0, name
+        assert episode["stage_walls"]["wall.inform"] > 0, name
+        assert episode["stage_walls"]["wall.transfer"] > 0, name
     assert ladder["131k"]["n_ranks"] == 131_072
     assert ladder["131k"]["n_tasks"] >= 2_000_000

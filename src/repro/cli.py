@@ -139,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=64)
     p.add_argument("--fanout", type=int, default=4)
     p.add_argument("--rounds", type=int, default=6)
+    p.add_argument(
+        "--knowledge",
+        choices=["auto", "packed", "sparse"],
+        default=None,
+        help="event-level knowledge backend (default: packed bitmap)",
+    )
     _add_fault_flags(p, churn=True)
     p.add_argument("--json", type=str, default=None)
 
@@ -197,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also run the rank-count ladder at this rung (or every rung); "
         "each rung runs in a fresh subprocess and records its peak RSS "
+        "(perf suite only)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each headline case once under cProfile and write the "
+        "top-20 cumulative hotspots per case to benchmarks/results/ "
         "(perf suite only)",
     )
     _add_executor_flags(p, executor_default="auto")
@@ -344,7 +357,12 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
     loads = np.ones(n)
     loads[: max(2, n // 16)] = 20.0
     gossip = DistributedGossip(
-        sys2, loads, fanout=args.fanout, rounds=args.rounds, detector=detector
+        sys2,
+        loads,
+        fanout=args.fanout,
+        rounds=args.rounds,
+        detector=detector,
+        knowledge=args.knowledge,
     ).run()
 
     rows = [
@@ -488,8 +506,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor or "auto",
             scale=args.scale,
+            profile=args.profile,
         )
         print(format_report(payload))
+        # Profile listings go to files, not the committed JSON: they are
+        # host-specific flat text, useful next to the run that made them.
+        profiles = payload.pop("profiles", {})
+        if profiles:
+            from pathlib import Path
+
+            outdir = Path("benchmarks/results")
+            outdir.mkdir(parents=True, exist_ok=True)
+            for case, text in sorted(profiles.items()):
+                path = outdir / f"profile_{case}.txt"
+                path.write_text(text)
+                print(f"[profile: {path}]")
         out = args.json if args.json is not None else "BENCH_perf.json"
     if out and out != "-":
         save_json(payload, out)

@@ -1,19 +1,34 @@
-"""Compiled inner loop for the transfer stage (Alg. 2 l.4-18).
+"""Compiled inner loops for the transfer and inform stages.
 
-The hot core of :func:`repro.core.transfer.transfer_stage` is a scalar
-per-task loop: sample a recipient from the CMF, evaluate the criterion,
-apply the incremental mass update. This module provides that loop as a
-single kernel function over flat arrays — the Fenwick tree, the mass
-vector and the sender's task walk — written in numba-compatible scalar
-style.
+Transfer (Alg. 2 l.4-18): the hot core of
+:func:`repro.core.transfer.transfer_stage` is a scalar per-task loop —
+sample a recipient from the CMF, evaluate the criterion, apply the
+incremental mass update. This module provides that loop as a single
+kernel function over flat arrays — the Fenwick tree, the mass vector
+and the sender's task walk — written in numba-compatible scalar style.
 
-When numba is importable the kernel is additionally offered as an
-``@njit``-compiled variant (``kernel="numba"`` on
-:class:`~repro.core.transfer.TransferConfig`); when it is not, the
-"numba" spelling silently degrades to the pure-Python kernel. Both run
-the exact float operations of :class:`repro.core.cmf.IncrementalCMF`
-in the same order, so results are bit-identical across all three of
-{inline loop, Python kernel, jitted kernel}.
+Inform (Alg. 1, sparse backend): the hot core of the fused sparse
+gossip driver (:func:`repro.core.gossip._run_coalesced_sparse_fast`)
+is three scalar loops over sorted ``int32`` id shards — the two-way
+merge/dedup of a receiver's shard with a payload
+(:func:`merge_shards`), per-draw shard membership for the rejection
+sampler (:func:`shard_membership`) and the coverage segment sums
+(:func:`coverage_hits`). Each has a vectorized NumPy equivalent in its
+caller; the scalar kernels here win once jitted because they skip the
+temporaries (flat int64 key arrays, full-width sorts) the NumPy
+formulation needs. All variants produce identical integer results, so
+the choice never changes an episode.
+
+When numba is importable the kernels are additionally offered as
+``@njit``-compiled variants (``kernel="numba"`` on
+:class:`~repro.core.transfer.TransferConfig` /
+:class:`~repro.core.gossip.GossipConfig`); when it is not, the "numba"
+spelling degrades to the pure-Python/NumPy path with a single
+:class:`RuntimeWarning` per feature (:func:`warn_numba_missing`). The
+transfer kernels run the exact float operations of
+:class:`repro.core.cmf.IncrementalCMF` in the same order, so results
+are bit-identical across all three of {inline loop, Python kernel,
+jitted kernel}.
 
 The kernel never owns the RNG: the driver pre-draws one uniform per
 potential proposal and rewinds/advances the bit generator by the number
@@ -37,6 +52,8 @@ Kernel statuses (returned, never raised):
 """
 
 from __future__ import annotations
+
+import warnings
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit
@@ -64,7 +81,34 @@ __all__ = [
     "PASS_REBUILD",
     "get_transfer_pass",
     "transfer_pass",
+    "merge_shards",
+    "shard_membership",
+    "coverage_hits",
+    "get_gossip_kernels",
+    "warn_numba_missing",
 ]
+
+#: Features that already warned about a missing numba (warn once each).
+_WARNED_FEATURES: set[str] = set()
+
+
+def warn_numba_missing(feature: str) -> None:
+    """Warn — once per feature — that ``kernel="numba"`` cannot compile.
+
+    The degradation itself is safe (the pure-Python/NumPy path is
+    bit-identical), so this is a :class:`RuntimeWarning` about *speed*
+    expectations only, and repeating it per call would drown a long
+    episode in noise.
+    """
+    if HAVE_NUMBA or feature in _WARNED_FEATURES:
+        return
+    _WARNED_FEATURES.add(feature)
+    warnings.warn(
+        f"kernel='numba' requested for {feature} but numba is not "
+        "installed; running the bit-identical pure-Python path",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 PASS_DONE = 0
 PASS_THRESHOLD = 1
@@ -203,3 +247,115 @@ def get_transfer_pass(use_numba: bool):
     installed, the identical Python function otherwise) or
     ``kernel="python"``."""
     return _transfer_pass_jit if use_numba else transfer_pass
+
+
+# ---------------------------------------------------------------------------
+# Inform-stage kernels (sparse knowledge shards; see module docstring).
+# ---------------------------------------------------------------------------
+
+
+def merge_shards(a, b, out):
+    """Two-pointer union of sorted unique id arrays ``a`` and ``b``.
+
+    Writes the sorted, duplicate-free union into ``out`` (which must
+    hold at least ``a.size + b.size`` elements) and returns its length.
+    Value-identical to ``np.unique(np.concatenate((a, b)))``.
+    """
+    na = a.shape[0]
+    nb = b.shape[0]
+    i = 0
+    j = 0
+    k = 0
+    while i < na and j < nb:
+        x = a[i]
+        y = b[j]
+        if x < y:
+            out[k] = x
+            i += 1
+        elif y < x:
+            out[k] = y
+            j += 1
+        else:
+            out[k] = x
+            i += 1
+            j += 1
+        k += 1
+    while i < na:
+        out[k] = a[i]
+        i += 1
+        k += 1
+    while j < nb:
+        out[k] = b[j]
+        j += 1
+        k += 1
+    return k
+
+
+def shard_membership(flat, starts, lens, rows, draws, out):
+    """``out[i, j] = draws[i, j] in segment rows[i]`` by binary search.
+
+    ``flat`` is the concatenation of sorted shard segments;
+    ``starts``/``lens`` delimit segment ``r`` as
+    ``flat[starts[r] : starts[r] + lens[r]]``. Value-identical to the
+    vectorized flat-key ``searchsorted`` membership test, without ever
+    building the int64 key arrays.
+    """
+    n_rows = draws.shape[0]
+    width = draws.shape[1]
+    for i in range(n_rows):
+        r = rows[i]
+        lo0 = starts[r]
+        hi0 = lo0 + lens[r]
+        for j in range(width):
+            x = draws[i, j]
+            lo = lo0
+            hi = hi0
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if flat[mid] < x:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            out[i, j] = lo < hi0 and flat[lo] == x
+
+
+def coverage_hits(flat, lens, mask, out):
+    """Per-segment count of ``flat`` members with ``mask`` set.
+
+    The coverage segment sums: ``out[p]`` counts how many of rank
+    ``p``'s shard members (the next ``lens[p]`` entries of ``flat``)
+    are underloaded. Value-identical to the cumulative-sum formulation
+    in :meth:`repro.core.knowledge.SparseKnowledge.coverage`.
+    """
+    pos = 0
+    for p in range(lens.shape[0]):
+        c = 0
+        for _ in range(lens[p]):
+            if mask[flat[pos]]:
+                c += 1
+            pos += 1
+        out[p] = c
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _merge_shards_jit = njit(cache=False)(merge_shards)
+    _shard_membership_jit = njit(cache=False)(shard_membership)
+    _coverage_hits_jit = njit(cache=False)(coverage_hits)
+else:
+    _merge_shards_jit = merge_shards
+    _shard_membership_jit = shard_membership
+    _coverage_hits_jit = coverage_hits
+
+
+def get_gossip_kernels():
+    """The jitted ``(merge_shards, shard_membership, coverage_hits)``
+    triple when numba is installed, else ``None``.
+
+    ``None`` (rather than the Python builds) because the scalar loops
+    are only competitive compiled; without numba the fused gossip
+    driver uses its vectorized NumPy formulations instead — same
+    values either way.
+    """
+    if not HAVE_NUMBA:
+        return None
+    return _merge_shards_jit, _shard_membership_jit, _coverage_hits_jit

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core._kernels import get_gossip_kernels, warn_numba_missing
 from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap, SparseKnowledge
 from repro.obs import StatsRegistry
 from repro.sim.faults import FaultConfig, PhaseFaultModel
@@ -56,6 +57,7 @@ __all__ = [
     "GossipExplosionError",
     "run_inform_stage",
     "SPARSE_AUTO_MIN_RANKS",
+    "SPARSE_AUTO_MIN_RANKS_FAST",
 ]
 
 #: Bytes for one (rank id, load) knowledge entry on the wire.
@@ -80,16 +82,27 @@ class GossipExplosionError(RuntimeError):
 
 #: Rank count at which ``knowledge="auto"`` switches the batched engine
 #: from the packed bitmap (O(P^2) bits — 128 MiB at 2^15, 2 GiB at
-#: 2^17) to sparse per-rank id shards (O(cap * P) bytes). Below the
-#: threshold the bit matrix is small enough that packed's vectorized
-#: row-OR dominates (measured: ~2.7x over sparse at 4k ranks); at
-#: 2^15 and beyond the matrix gathers outweigh the shard merges
-#: (sparse ~1.8x faster at 32k over a full 10-round episode, and the
-#: only backend that fits a sane budget at 2^17, where packed would
-#: need a 2 GiB matrix plus a same-sized row gather per round).
-#: Sparse only pays off once knowledge is capped, so auto
-#: additionally requires ``max_known``.
+#: 2^17) to sparse per-rank id shards (O(cap * P) bytes), when the
+#: sparse side runs the *reference* driver (``kernel="python"``).
+#: Below the threshold the bit matrix is small enough that packed's
+#: vectorized row-OR dominates (measured: ~2.7x over reference sparse
+#: at 4k ranks); at 2^15 and beyond the matrix gathers outweigh the
+#: shard merges (reference sparse ~1.8x faster at 32k over a full
+#: 10-round episode, and the only backend that fits a sane budget at
+#: 2^17, where packed would need a 2 GiB matrix plus a same-sized row
+#: gather per round). Sparse only pays off once knowledge is capped,
+#: so auto additionally requires ``max_known``.
 SPARSE_AUTO_MIN_RANKS = 32_768
+
+#: The same crossover under the fused sparse driver (``kernel="auto"``
+#: / ``"numba"``): priority-space shards, completeness skips and shard
+#: interning collapse the converged rounds to near nothing, which
+#: moves the measured packed/sparse crossover (fanout 6, 10 rounds,
+#: cap 512, "lowest" trim, 1 CPU) down to the 8k rung — packed/fused
+#: wall ratio 0.71x at 4096 ranks, 1.02x at 8192, 1.53x at 16384,
+#: 3.55x at 32768. Auto therefore switches at 8192 ranks when the
+#: fused driver is selected.
+SPARSE_AUTO_MIN_RANKS_FAST = 8_192
 
 
 @dataclass(frozen=True)
@@ -132,11 +145,21 @@ class GossipConfig:
     #: Knowledge backend for the batched engine: "packed" (the dense
     #: bit matrix, O(P^2) bits), "sparse" (per-rank sorted id shards,
     #: O(sum |S^p|) — the high-rank-count backend, bit-identical to
-    #: packed), or "auto" (sparse once ``n_ranks >=
-    #: SPARSE_AUTO_MIN_RANKS`` *and* ``max_known`` caps the shards;
+    #: packed), or "auto" (sparse once the rank count crosses the
+    #: kernel-dependent threshold *and* ``max_known`` caps the shards;
     #: packed otherwise). The loop engine always uses the boolean
     #: reference bitmap.
     knowledge: str = "auto"
+    #: Sparse-backend driver: "auto" (the fused driver — shard
+    #: interning, equality-skipped merges, jitted scalar kernels where
+    #: numba is installed, vectorized NumPy fallbacks where not),
+    #: "numba" (the fused driver too, but warns once when numba is
+    #: missing — use it to *assert* the compiled build), or "python"
+    #: (the per-receiver reference driver, kept as the behavioural
+    #: oracle). All three are bit-identical — same targets, same
+    #: knowledge, same RNG stream. Packed/dense backends ignore this
+    #: knob; their round loop is already fully vectorized.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive("fanout", self.fanout)
@@ -151,6 +174,7 @@ class GossipConfig:
         if not 0.0 <= self.intra_node_bias <= 1.0:
             raise ValueError("intra_node_bias must be in [0, 1]")
         check_in("knowledge", self.knowledge, ("auto", "packed", "sparse"))
+        check_in("kernel", self.kernel, ("auto", "python", "numba"))
         if self.knowledge == "sparse":
             if self.mode != "coalesced" or self.engine != "batched":
                 raise ValueError(
@@ -172,17 +196,25 @@ class GossipConfig:
         Auto selects sparse only where it is both applicable (no fault
         model or topology bias — those paths are packed-only) and a
         win: a ``max_known`` cap bounds the shards, and the rank count
-        is high enough that the dense matrix is the larger cost.
+        is at or past the measured packed/sparse crossover — which
+        depends on the sparse driver the ``kernel`` knob selects
+        (``SPARSE_AUTO_MIN_RANKS_FAST`` for the fused driver,
+        ``SPARSE_AUTO_MIN_RANKS`` for the Python reference).
         """
         if self.knowledge != "auto":
             return self.knowledge
+        threshold = (
+            SPARSE_AUTO_MIN_RANKS
+            if self.kernel == "python"
+            else SPARSE_AUTO_MIN_RANKS_FAST
+        )
         if (
             self.mode == "coalesced"
             and self.engine == "batched"
             and self.max_known is not None
             and self.faults is None
             and self.intra_node_bias == 0.0
-            and n_ranks >= SPARSE_AUTO_MIN_RANKS
+            and n_ranks >= threshold
         ):
             return "sparse"
         return "packed"
@@ -326,7 +358,12 @@ def run_inform_stage(
             raise ValueError("fault injection requires mode='coalesced'")
         _run_per_message(know, seeds, config, rng, result)  # type: ignore[arg-type]
     elif sparse:
-        _run_coalesced_sparse(know, seeds, config, rng, result)  # type: ignore[arg-type]
+        if config.kernel == "python":
+            _run_coalesced_sparse(know, seeds, config, rng, result)  # type: ignore[arg-type]
+        else:
+            if config.kernel == "numba":
+                warn_numba_missing("the sparse inform kernel")
+            _run_coalesced_sparse_fast(know, seeds, config, rng, result)  # type: ignore[arg-type]
     elif batched:
         _run_coalesced_batched(know, seeds, config, rng, result, model)  # type: ignore[arg-type]
     else:
@@ -864,12 +901,18 @@ def _trim_rows_sparse(
     loads: np.ndarray,
     config: GossipConfig,
     rng: np.random.Generator,
+    interner: "_ShardInterner | None" = None,
 ) -> None:
     """``max_known`` cap over sparse shards, bit-identical to the packed
     trim: the same survivor sets, and for the "random" policy the same
     RNG consumption (full-width key rows drawn in the same chunks —
     only the member positions are ever *read*, but the stream must
     match the packed engine draw for draw).
+
+    With an ``interner`` (the fused driver), each trimmed shard is
+    canonicalized so ranks that converge onto the same survivor set
+    share one array object — the identity the driver's equality-skip
+    keys on. Interning never changes a shard's *values*.
     """
     cap = config.max_known
     if cap is None or ranks.size == 0:
@@ -886,7 +929,7 @@ def _trim_rows_sparse(
             shard = shards[r]
             keep = shard[np.argpartition(prio[shard], cap - 1)[:cap]]
             keep.sort()
-            shards[r] = keep
+            shards[r] = keep if interner is None else interner.canon(keep)
         return
     n = know.n_ranks
     for start in range(0, over.size, _TRIM_CHUNK_ROWS):
@@ -897,7 +940,7 @@ def _trim_rows_sparse(
             member_keys = keys[i, shard]
             keep = shard[np.argpartition(member_keys, cap - 1)[:cap]]
             keep.sort()
-            shards[r] = keep
+            shards[r] = keep if interner is None else interner.canon(keep)
 
 
 def _run_coalesced_batched(
@@ -1175,6 +1218,488 @@ def _run_coalesced_sparse(
         senders = receivers
         if senders.size == 0:  # pragma: no cover - targets imply receivers
             break
+
+
+# ---------------------------------------------------------------------------
+# Fused sparse driver (``kernel="auto"``/``"numba"``): shard interning.
+# ---------------------------------------------------------------------------
+
+#: Minimum rows sharing one payload object before the round builds a
+#: shared membership bitmap for them. Below this the flat per-row
+#: structures are cheaper than a P-sized bitmap.
+_DOMINANT_MIN_ROWS = 16
+
+
+class _ShardInterner:
+    """Content-addressed canonical store for shard arrays.
+
+    ``canon`` returns one canonical array per distinct content, so
+    ranks whose knowledge sets converge — the steady state of capped
+    "lowest"-trim gossip, where every rank settles on the same
+    lowest-load members — share a single array object. The fused
+    driver then skips whole merges on object identity alone (a payload
+    that *is* the receiver's shard cannot add members). A lookup never
+    changes values: the canonical is value-equal to the query by
+    construction, so interning is invisible to results.
+
+    Contents are bucketed by a cheap fingerprint (size, first, last,
+    sum); collisions fall back to an exact compare. The table is
+    dropped wholesale when it outgrows ``max_buckets`` — under the
+    non-converging "random" trim it would otherwise retain every
+    distinct set ever produced. Losing the table only costs future
+    skips, never correctness.
+    """
+
+    __slots__ = ("buckets", "max_buckets")
+
+    def __init__(self, max_buckets: int) -> None:
+        self.buckets: dict[tuple[int, int, int, int], list[np.ndarray]] = {}
+        self.max_buckets = max_buckets
+
+    def canon(self, arr: np.ndarray) -> np.ndarray:
+        if arr.size == 0:
+            return arr
+        fp = (arr.size, int(arr[0]), int(arr[-1]), int(arr.sum(dtype=np.int64)))
+        bucket = self.buckets.get(fp)
+        if bucket is None:
+            if len(self.buckets) >= self.max_buckets:
+                self.buckets.clear()
+            self.buckets[fp] = [arr]
+            return arr
+        for canonical in bucket:
+            if np.array_equal(arr, canonical):
+                return canonical
+        bucket.append(arr)
+        return arr
+
+
+class _FastSparseCandidates:
+    """Membership view for the fused sparse driver.
+
+    Identical answers to :class:`_SparseComplementCandidates`, cheaper
+    cost model: rows whose payload is the round's dominant (interned)
+    shard object test draws against one shared boolean bitmap of that
+    shard, and only the remaining rows pay per-row membership — the
+    jitted binary-search kernel when numba is installed, the flat-key
+    ``searchsorted`` otherwise.
+
+    When the driver stores shards in priority space (capped "lowest"
+    trim; see :func:`_run_coalesced_sparse_fast`), ``enc``/``dec``
+    carry the rank->priority permutation and its inverse: draws are
+    rank ids, so membership encodes the draw (``enc``) against the
+    priority-valued segments, while the dominant bitmap and the exact
+    ``extract`` path decode members (``dec``) back to rank ids once.
+    Both are ``None`` in id space.
+    """
+
+    __slots__ = (
+        "n_ranks",
+        "senders",
+        "snap",
+        "lens",
+        "template",
+        "dom_mask",
+        "bitmap",
+        "nd_pos",
+        "nd_flat",
+        "nd_starts",
+        "nd_lens",
+        "nd_flat_keys",
+        "member_kernel",
+        "enc",
+        "dec",
+    )
+
+    def __init__(
+        self,
+        n_ranks: int,
+        senders: np.ndarray,
+        snap: list[np.ndarray],
+        lens: np.ndarray,
+        template: np.ndarray,
+        dom_mask: np.ndarray | None,
+        bitmap: np.ndarray | None,
+        nd_pos: np.ndarray,
+        nd_flat: np.ndarray,
+        nd_starts: np.ndarray,
+        nd_lens: np.ndarray,
+        nd_flat_keys: np.ndarray | None,
+        member_kernel,
+        enc: np.ndarray | None,
+        dec: np.ndarray | None,
+    ) -> None:
+        self.n_ranks = n_ranks
+        self.senders = senders
+        self.snap = snap
+        self.lens = lens
+        self.template = template
+        self.dom_mask = dom_mask
+        self.bitmap = bitmap
+        self.nd_pos = nd_pos
+        self.nd_flat = nd_flat
+        self.nd_starts = nd_starts
+        self.nd_lens = nd_lens
+        self.nd_flat_keys = nd_flat_keys
+        self.member_kernel = member_kernel
+        self.enc = enc
+        self.dec = dec
+
+    def _hits(self, sub_rows: np.ndarray, sub_draws: np.ndarray) -> np.ndarray:
+        """Shard membership for non-dominant rows (compact indices).
+
+        ``sub_draws`` holds rank ids; with ``enc`` set they are mapped
+        into the priority-valued segments first — membership of
+        ``enc[draw]`` in the encoded shard equals membership of
+        ``draw`` in the original, since ``enc`` is a bijection.
+        """
+        if self.enc is not None:
+            sub_draws = self.enc[sub_draws]
+        if self.member_kernel is not None:
+            hit = np.empty(sub_draws.shape, dtype=np.bool_)
+            self.member_kernel(
+                self.nd_flat,
+                self.nd_starts,
+                self.nd_lens,
+                sub_rows,
+                np.ascontiguousarray(sub_draws),
+                hit,
+            )
+            return hit
+        flat = self.nd_flat_keys
+        if flat is None or not flat.size:
+            return np.zeros(sub_draws.shape, dtype=bool)
+        keys = (sub_rows[:, None] * np.int64(self.n_ranks) + sub_draws).ravel()
+        pos = np.searchsorted(flat, keys)
+        return (flat[np.minimum(pos, flat.size - 1)] == keys).reshape(sub_draws.shape)
+
+    def test(self, rows: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        ok = draws != self.senders[rows][:, None]
+        if self.bitmap is not None:
+            # The bitmap is always rank-indexed (decoded at build time),
+            # so dominant rows never pay a per-wave mapping.
+            dm = self.dom_mask[rows]
+            if dm.any():
+                ok[dm] &= ~self.bitmap[draws[dm]]
+            ndm = ~dm
+        else:
+            ndm = np.ones(rows.size, dtype=bool)
+        if ndm.any():
+            sub = ndm if self.bitmap is not None else slice(None)
+            hit = self._hits(self.nd_pos[rows[sub]], draws[sub])
+            ok[sub] &= ~hit
+        return ok
+
+    def extract(self, rows: np.ndarray) -> np.ndarray:
+        # The rare exact-sampler path; identical to the reference view,
+        # with encoded members decoded back to rank ids for the bit
+        # clears (order does not matter to ``_clear_bits``).
+        out = np.repeat(self.template[None, :], rows.size, axis=0)
+        idx = np.arange(rows.size)
+        row_lens = self.lens[rows]
+        if int(row_lens.sum()):
+            members = np.concatenate(
+                [self.snap[r] for r in rows.tolist()]
+            ).astype(np.int64)
+            if self.dec is not None:
+                members = self.dec[members]
+            _clear_bits(out, np.repeat(idx, row_lens), members)
+        _clear_bits(out, idx, self.senders[rows])
+        return out
+
+
+def _fast_candidates(
+    n_ranks: int,
+    senders: np.ndarray,
+    snap: list[np.ndarray],
+    lens: np.ndarray,
+    template: np.ndarray,
+    member_kernel,
+    enc: np.ndarray | None = None,
+    dec: np.ndarray | None = None,
+) -> tuple[np.ndarray, _FastSparseCandidates]:
+    """Candidate counts and membership view for one fused round.
+
+    Groups sender rows by payload *object* — interning makes equal
+    shards identical objects, so converged rounds collapse to one
+    dominant group — and gives that group a single shared bitmap.
+    ``counts`` is computed exactly as the reference driver does
+    (``P - |S^p| - (p not in S^p)``), so the shared sampler sees the
+    same inputs and consumes the same RNG stream. ``enc``/``dec``
+    flag priority-space shards (see :class:`_FastSparseCandidates`).
+    """
+    n_rows = int(senders.size)
+    groups: dict[int, list[int]] = {}
+    for i, s in enumerate(snap):
+        groups.setdefault(id(s), []).append(i)
+    dom_rows: list[int] | None = None
+    if groups:
+        best = max(groups.values(), key=len)
+        if len(best) >= _DOMINANT_MIN_ROWS:
+            dom_rows = best
+    knows_self = np.zeros(n_rows, dtype=bool)
+    dom_mask = None
+    bitmap = None
+    if dom_rows is not None:
+        dom_shard = snap[dom_rows[0]]
+        if dec is not None:
+            dom_shard = dec[dom_shard]
+        bitmap = np.zeros(n_ranks, dtype=bool)
+        bitmap[dom_shard] = True
+        dom_mask = np.zeros(n_rows, dtype=bool)
+        dom_mask[dom_rows] = True
+        knows_self[dom_mask] = bitmap[senders[dom_mask]]
+        nd_rows = np.flatnonzero(~dom_mask)
+    else:
+        nd_rows = np.arange(n_rows)
+    nd_pos = np.full(n_rows, -1, dtype=np.int64)
+    nd_pos[nd_rows] = np.arange(nd_rows.size)
+    nd_lens = lens[nd_rows]
+    if int(nd_lens.sum()):
+        nd_flat = np.concatenate([snap[i] for i in nd_rows.tolist()])
+    else:
+        nd_flat = np.empty(0, dtype=SparseKnowledge._ID_DTYPE)
+    if nd_rows.size:
+        nd_starts = np.concatenate(([0], np.cumsum(nd_lens)[:-1]))
+    else:
+        nd_starts = np.empty(0, dtype=np.int64)
+    nd_flat_keys = None
+    if member_kernel is None:
+        if nd_flat.size:
+            nd_flat_keys = np.repeat(
+                np.arange(nd_rows.size, dtype=np.int64) * n_ranks, nd_lens
+            ) + nd_flat.astype(np.int64)
+        else:
+            nd_flat_keys = np.empty(0, dtype=np.int64)
+    cand = _FastSparseCandidates(
+        n_ranks,
+        senders,
+        snap,
+        lens,
+        template,
+        dom_mask,
+        bitmap,
+        nd_pos,
+        nd_flat,
+        nd_starts,
+        nd_lens,
+        nd_flat_keys,
+        member_kernel,
+        enc,
+        dec,
+    )
+    if nd_rows.size:
+        knows_self[nd_rows] = cand._hits(
+            np.arange(nd_rows.size), senders[nd_rows][:, None]
+        )[:, 0]
+    counts = n_ranks - lens - (~knows_self)
+    return counts, cand
+
+
+def _run_coalesced_sparse_fast(
+    know: SparseKnowledge,
+    seeds: np.ndarray,
+    config: GossipConfig,
+    rng: np.random.Generator,
+    result: GossipResult,
+) -> None:
+    """Fused sparse round engine (``kernel="auto"``/``"numba"``).
+
+    Bit-identical to :func:`_run_coalesced_sparse` — same targets,
+    same shard values, same RNG stream — but built around one
+    observation: capped "lowest"-trim gossip *converges*. After a few
+    rounds most ranks hold the identical knowledge set (the globally
+    lowest-priority members), so most of the reference driver's
+    per-receiver concat/sort/dedup/argpartition work rebuilds a set
+    the receiver already has. Three value-preserving layers exploit
+    that:
+
+    - **Priority space** (capped "lowest" trim only): shards are
+      stored as sorted *priority* values (``prio[member]``) for the
+      stage. The trim's survivor set — the cap lowest members in
+      (load, id) order — becomes a plain ``[:cap]`` truncation of the
+      sorted union, and a rank whose shard is exactly ``{0..cap-1}``
+      is *complete*: no payload can ever displace a member, so its
+      merges skip without touching the payloads. Priorities are a
+      bijection of rank ids, so sizes, unions and membership answers
+      are unchanged; shards decode back to rank ids on exit.
+    - **Interning + identity skips**: equal shard contents share one
+      array object (:class:`_ShardInterner`), so messages whose
+      payload *is* the receiver's shard are no-ops — detected for the
+      whole round with one ``reduceat`` — and sender rows sharing the
+      round's dominant payload object test sampler draws against one
+      shared bitmap (:class:`_FastSparseCandidates`).
+    - **Merge kernels**: the remaining real merges run through the
+      jitted two-way merge kernel where numba is installed
+      (:func:`repro.core._kernels.merge_shards`) and the NumPy
+      sort/dedup otherwise.
+
+    The "random" trim draws RNG keys per over-cap row, so it cannot be
+    fused or skipped; that path keeps id-space shards and the separate
+    :func:`_trim_rows_sparse` pass (identical stream consumption).
+
+    ``config.__post_init__`` guarantees no faults and no intra-node
+    bias on this path, so neither is handled here.
+    """
+    n_ranks = know.n_ranks
+    fanout = config.fanout
+    rpn = config.ranks_per_node
+    template = np.packbits(np.ones(n_ranks, dtype=bool))
+    kernels = get_gossip_kernels()
+    merge_kernel = kernels[0] if kernels is not None else None
+    member_kernel = kernels[1] if kernels is not None else None
+    interner = _ShardInterner(max_buckets=max(1024, n_ranks // 4))
+    shards = know.shards
+    id_dtype = SparseKnowledge._ID_DTYPE
+    merge_buf = np.empty(0, dtype=id_dtype)
+    cap = config.max_known
+    fused_trim = cap is not None and config.trim_policy == "lowest"
+    enc: np.ndarray | None = None
+    dec: np.ndarray | None = None
+    complete: np.ndarray | None = None
+    if fused_trim:
+        # prio/dec are the permutation pair of _load_priority: loads
+        # are fixed for the stage, so both are hoisted out of the
+        # rounds, and every shard is re-encoded once on entry.
+        dec = np.argsort(result.load_snapshot, kind="stable")
+        enc = np.empty(n_ranks, dtype=np.int64)
+        enc[dec] = np.arange(n_ranks)
+        enc32 = enc.astype(id_dtype)
+        complete = np.zeros(n_ranks, dtype=bool)
+        for r in range(n_ranks):
+            s = shards[r]
+            if s.size:
+                e = enc32[s]
+                e.sort()
+                shards[r] = e
+                if e.size == cap and e[-1] == cap - 1:
+                    complete[r] = True
+
+    senders = seeds.astype(np.int64)
+    initiating = True
+    for _round in range(1, config.rounds + 1):
+        result.per_round_messages.append(0)
+        result.per_round_senders.append(int(senders.size))
+        sender_list = senders.tolist()
+        # Shard references are the round's payload snapshot: every
+        # mutation replaces a shard array (interning included), so
+        # same-round merges cannot leak into these payloads.
+        snap = [shards[s] for s in sender_list]
+        lens = np.fromiter((s.size for s in snap), np.int64, senders.size)
+        entries = lens
+        if initiating or not config.avoid_known:
+            counts = np.full(senders.size, n_ranks - 1, dtype=np.int64)
+            cand: object = _SparseComplementCandidates(
+                n_ranks, senders, None, None, None, template
+            )
+        else:
+            counts, cand = _fast_candidates(
+                n_ranks, senders, snap, lens, template, member_kernel, enc, dec
+            )
+
+        want = np.minimum(fanout, counts)
+        row_idx, targets = _sample_packed_rows(rng, cand, counts, want, n_ranks)
+        if targets.size == 0:
+            break
+        n = int(targets.size)
+        result.n_messages += n
+        result.bytes_sent += n * HEADER_BYTES + ENTRY_BYTES * int(
+            entries[row_idx].sum()
+        )
+        result.per_round_messages[-1] = n
+        result.inter_node_messages += int(
+            np.count_nonzero(targets // rpn != senders[row_idx] // rpn)
+        )
+        # Merge. Complete receivers and receivers whose every payload
+        # *is* their own shard object are skipped wholesale (the union
+        # cannot change their set); only the rest run a real merge,
+        # with the "lowest" trim fused in as a truncation.
+        order = np.argsort(targets, kind="stable")
+        targets_sorted = targets[order]
+        sources_sorted = row_idx[order]
+        receivers, starts = np.unique(targets_sorted, return_index=True)
+        bounds = np.append(starts, targets_sorted.size)
+        recv_list = receivers.tolist()
+        own_ids = np.fromiter(
+            (id(shards[r]) for r in recv_list), np.int64, receivers.size
+        )
+        payload_ids = np.fromiter(
+            (id(s) for s in snap), np.int64, senders.size
+        )[sources_sorted]
+        group_sizes = np.diff(bounds)
+        is_own = payload_ids == np.repeat(own_ids, group_sizes)
+        open_recv = ~np.logical_and.reduceat(is_own, bounds[:-1])
+        if complete is not None:
+            open_recv &= ~complete[receivers]
+        active = np.flatnonzero(open_recv)
+        bounds_list = bounds.tolist()
+        src_list = sources_sorted.tolist()
+        for i in active.tolist():
+            r = recv_list[i]
+            own = shards[r]
+            own_id = id(own)
+            parts: list[np.ndarray] = []
+            seen = [own_id]
+            for j in range(bounds_list[i], bounds_list[i + 1]):
+                p = snap[src_list[j]]
+                pid = id(p)
+                if pid != own_id and pid not in seen:
+                    seen.append(pid)
+                    parts.append(p)
+            if not parts:  # pragma: no cover - filtered by open_recv
+                continue
+            if own.size == 0 and len(parts) == 1 and (
+                not fused_trim or parts[0].size <= cap
+            ):
+                # Adopting the payload object shares it; shard arrays
+                # are immutable-by-replacement, so sharing is safe.
+                merged = parts[0]
+            elif merge_kernel is not None and len(parts) == 1:
+                b = parts[0]
+                need = own.size + b.size
+                if merge_buf.size < need:
+                    merge_buf = np.empty(need, dtype=merge_buf.dtype)
+                k = merge_kernel(own, b, merge_buf)
+                if fused_trim and k > cap:
+                    k = cap
+                merged = interner.canon(merge_buf[:k].copy())
+            else:
+                merged = np.concatenate([own, *parts])
+                # In-place sort + adjacency dedup == np.unique, minus
+                # the per-call overhead (see the reference driver).
+                merged.sort()
+                keep = np.empty(merged.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+                merged = merged[keep]
+                if fused_trim and merged.size > cap:
+                    merged = merged[:cap].copy()
+                merged = interner.canon(merged)
+            shards[r] = merged
+            if fused_trim and merged.size == cap and merged[-1] == cap - 1:
+                complete[r] = True
+        if not fused_trim:
+            _trim_rows_sparse(
+                know, receivers, result.load_snapshot, config, rng, interner
+            )
+        initiating = False
+        senders = receivers
+        if senders.size == 0:  # pragma: no cover - targets imply receivers
+            break
+    if fused_trim:
+        # Decode priority-space shards back to sorted rank ids, one
+        # conversion per distinct object. The dict pins the encoded
+        # key arrays so object ids cannot be recycled mid-decode.
+        decoded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for r in range(n_ranks):
+            s = shards[r]
+            hit = decoded.get(id(s))
+            if hit is not None and hit[0] is s:
+                shards[r] = hit[1]
+                continue
+            d = dec[s].astype(id_dtype)
+            d.sort()
+            decoded[id(s)] = (s, d)
+            shards[r] = d
 
 
 def _run_per_message(

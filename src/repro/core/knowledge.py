@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core._kernels import get_gossip_kernels
 from repro.util.validation import check_positive
 
 __all__ = ["KnowledgeBitmap", "PackedKnowledgeBitmap", "SparseKnowledge"]
@@ -124,6 +125,10 @@ class KnowledgeBitmap:
             return 1.0
         per_rank = self.rows[:, underloaded].sum(axis=1)
         return float(per_rank.mean() / n_under)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the boolean matrix (the ``P^2`` bound)."""
+        return int(self.rows.nbytes)
 
 
 class PackedKnowledgeBitmap:
@@ -371,7 +376,10 @@ class SparseKnowledge:
         """Mean fraction of the underloaded set each rank knows.
 
         One flat pass: concatenate every shard, test membership against
-        the underloaded mask, and segment-sum the hits per rank.
+        the underloaded mask, and segment-sum the hits per rank — via
+        the jitted :func:`repro.core._kernels.coverage_hits` kernel
+        when numba is installed, the cumulative-sum formulation
+        otherwise (identical integer counts either way).
         """
         n_under = _coverage_denominator(underloaded)
         if n_under == 0:
@@ -385,9 +393,14 @@ class SparseKnowledge:
         if int(lens.sum()) == 0:
             return 0.0
         flat = np.concatenate(self.shards)
-        hits = np.concatenate(([0], np.cumsum(mask[flat], dtype=np.int64)))
-        ends = np.cumsum(lens)
-        per_rank = hits[ends] - hits[ends - lens]
+        kernels = get_gossip_kernels()
+        if kernels is not None:
+            per_rank = np.empty(self.n_ranks, dtype=np.int64)
+            kernels[2](flat, lens, np.ascontiguousarray(mask), per_rank)
+        else:
+            hits = np.concatenate(([0], np.cumsum(mask[flat], dtype=np.int64)))
+            ends = np.cumsum(lens)
+            per_rank = hits[ends] - hits[ends - lens]
         return float(per_rank.mean() / n_under)
 
     @property
@@ -403,5 +416,21 @@ class SparseKnowledge:
         return out
 
     def memory_bytes(self) -> int:
-        """Bytes held by the shard arrays (the O(sum |S^p|) bound)."""
-        return int(sum(s.nbytes for s in self.shards))
+        """Bytes actually held by the shard arrays.
+
+        Counted per distinct array *object*, not per rank: the fused
+        gossip driver interns converged shards, so thousands of ranks
+        may reference one physical array. Summing ``nbytes`` per rank
+        would report that storage once per referencing rank — at 4k
+        ranks / cap 512 that inflated 8 MB of logical entries into the
+        benchmark report when the resident footprint was a fraction of
+        it.
+        """
+        seen: set[int] = set()
+        total = 0
+        for s in self.shards:
+            key = id(s)
+            if key not in seen:
+                seen.add(key)
+                total += s.nbytes
+        return int(total)

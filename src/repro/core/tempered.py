@@ -70,6 +70,10 @@ class TemperedConfig:
     #: Knowledge backend for the batched inform engine: "auto" /
     #: "packed" / "sparse" (see :class:`~repro.core.gossip.GossipConfig`).
     knowledge: str = "auto"
+    #: Sparse inform driver: "auto" (fused fast path), "numba" (fused +
+    #: jitted kernels, warns once without numba) or "python" (reference
+    #: oracle); bit-identical results either way.
+    gossip_kernel: str = "auto"
     #: Transfer-stage engine: "soa" (structure-of-arrays rank state,
     #: default) or "lists" (reference); see TransferConfig.
     transfer_engine: str = "soa"
@@ -113,6 +117,7 @@ class TemperedConfig:
             max_known=self.max_known,
             trim_policy=self.trim_policy,
             knowledge=self.knowledge,
+            kernel=self.gossip_kernel,
             faults=self.faults,
         )
 

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core._kernels import PASS_REBUILD, get_transfer_pass
+from repro.core._kernels import PASS_REBUILD, get_transfer_pass, warn_numba_missing
 from repro.core.cmf import (
     CMF_MODIFIED,
     CMF_ORIGINAL,
@@ -530,6 +530,8 @@ def _transfer_from_rank_soa(
         and not config.nacks
         and isinstance(rng.bit_generator, np.random.PCG64)
     )
+    if use_kernel:
+        warn_numba_missing("the transfer-pass kernel")
     kern = get_transfer_pass(True) if use_kernel else None
 
     max_passes = config.max_passes if config.max_passes is not None else _PASS_CAP

@@ -33,10 +33,29 @@ Four timed paths, mirroring where an LB episode actually spends time:
     end-to-end figure the ROADMAP's "fast as the hardware allows" goal
     is judged by.
 
+The ``--scale`` ladder adds per-rung cases on top of these:
+
+``inform/sparse`` vs ``inform/sparse-python``
+    The fused sparse inform driver (priority-space trim, interned
+    shards, optional numba kernels) raced against the pure-Python
+    reference driver at the rungs where the reference is tractable.
+    Both consume identical RNG and produce bit-identical knowledge, so
+    the ratio — ``speedups.inform_sparse_kernel_vs_python`` — is
+    work-for-work.
+``refinement/<rung>``
+    One full Algorithm 3 episode at the rung's rank count: inform +
+    CMF + transfer + trial selection, end to end, with the per-stage
+    ``wall.*`` timers riding along. The 131k row is the headline "how
+    long does a whole LB decision take at BG/Q scale" figure, and its
+    subprocess peak RSS is the < 8 GiB acceptance gate.
+
 Default scale is the paper's § V analysis scenario (10^4 tasks on
 4096 ranks); ``quick`` drops to a CI-smoke size. Every case reports
 the best of ``repeats`` runs (state is rebuilt per run, so repeated
-timings are independent).
+timings are independent). ``profile=True`` additionally runs each
+headline case once under :mod:`cProfile` and collects the top-20
+cumulative hotspots per case into the payload's ``profiles`` section
+(the CLI writes them to ``benchmarks/results/``).
 """
 
 from __future__ import annotations
@@ -101,6 +120,19 @@ SCALE_RSS_BUDGET_MB = {"4k": 2_048, "32k": 4_096, "131k": 8_192}
 #: runs the sparse/SoA stack only.
 _RUNG_REFERENCE = {"4k": True, "32k": True, "131k": False}
 
+#: Rungs where the pure-Python sparse inform driver is raced against
+#: the fused fast path (``GossipConfig.kernel``). The reference driver
+#: scales like the fast path times its constant factor, so at 131k it
+#: would dominate the whole ladder's wall time for a ratio the 32k rung
+#: already establishes; 131k times the fast path only.
+_RUNG_KERNEL_RACE = {"4k": True, "32k": True, "131k": False}
+
+#: Full-episode (Algorithm 3) shape per rung: (n_trials, n_iters).
+#: Small on purpose — the episode case measures per-iteration cost of
+#: the whole inform+transfer+selection loop, not convergence quality,
+#: and one 131k iteration is already tens of seconds.
+_RUNG_EPISODE = {"4k": (2, 2), "32k": (1, 2), "131k": (1, 2)}
+
 
 @dataclass
 class BenchResult:
@@ -131,6 +163,23 @@ def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
     return best, value
 
 
+def _profile_text(fn: Callable[[], Any], top: int = 20) -> str:
+    """Run ``fn`` once under :mod:`cProfile`; top-``top`` cumulative rows."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        fn()
+    finally:
+        prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
 def _peak_rss_mb() -> float:
     """This process's lifetime peak RSS in MiB (``ru_maxrss``)."""
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -138,14 +187,20 @@ def _peak_rss_mb() -> float:
     return peak / 1024.0 if sys.platform != "darwin" else peak / (1024.0 * 1024.0)
 
 
-def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str, Any]:
-    """Time one inform+transfer episode at a ladder rung (in-process).
+def _run_scale_rung(
+    name: str, quick: bool, repeats: int, seed: int, profile: bool = False
+) -> dict[str, Any]:
+    """Time one ladder rung (in-process): stages, kernel race, episode.
 
-    Reference implementations (packed knowledge, list-based transfer)
-    run alongside the scaling stack where they are tractable
-    (``_RUNG_REFERENCE``), so the rung reports both the cost of the
-    stack that ships at that rank count and the ratio against the
-    alternative backend.
+    Reference implementations (packed knowledge, list-based transfer,
+    the pure-Python sparse inform driver) run alongside the scaling
+    stack where they are tractable (``_RUNG_REFERENCE`` /
+    ``_RUNG_KERNEL_RACE``), so the rung reports both the cost of the
+    stack that ships at that rank count and the ratio against each
+    alternative. On top of the per-stage timings, one full
+    ``iterative_refinement`` episode (``_RUNG_EPISODE`` shape) times
+    the whole LB decision loop end to end with its ``wall.*`` stage
+    timers.
     """
     spec = SCALE_RUNGS[name]
     n_ranks = spec["n_ranks"]
@@ -166,15 +221,10 @@ def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str
     base = dict(rounds=rounds, max_known=LADDER_MAX_KNOWN, trim_policy="lowest")
     auto_backend = GossipConfig(**base).resolve_knowledge(n_ranks)
     backends = ("packed", "sparse") if _RUNG_REFERENCE[name] else ("sparse",)
+    profiles: dict[str, str] = {}
 
-    inform_secs: dict[str, float] = {}
-    inform_mem: dict[str, float] = {}
-    inform_messages: dict[str, int] = {}
-    gossip = None
-    for backend in backends:
-        config = GossipConfig(knowledge=backend, **base)
-
-        def bench_inform(config=config):
+    def make_inform(config: GossipConfig) -> Callable[[], Any]:
+        def bench_inform() -> Any:
             return run_inform_stage(
                 loads,
                 config,
@@ -182,6 +232,14 @@ def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str
                 average_load=dist.average_load,
             )
 
+        return bench_inform
+
+    inform_secs: dict[str, float] = {}
+    inform_mem: dict[str, float] = {}
+    inform_messages: dict[str, int] = {}
+    gossip = None
+    for backend in backends:
+        bench_inform = make_inform(GossipConfig(knowledge=backend, **base))
         secs, stage = _time_best(bench_inform, reps)
         inform_secs[backend] = secs
         inform_messages[backend] = stage.n_messages
@@ -189,6 +247,21 @@ def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str
         inform_mem[backend] = (mem() / 2**20) if mem is not None else 0.0
         if backend == auto_backend or gossip is None:
             gossip = stage
+        if profile and backend == "sparse":
+            profiles[f"inform_sparse_{name}"] = _profile_text(bench_inform)
+
+    # The sparse kernel race: fused fast driver (what "auto" ships) vs
+    # the pure-Python reference driver. Bit-identical by construction
+    # (the dedicated parity tests enforce it down to the RNG stream);
+    # the message count doubles as a cheap cross-check here.
+    inform_kernel_secs: dict[str, float] = {"fast": inform_secs["sparse"]}
+    kernel_equivalent = True
+    if _RUNG_KERNEL_RACE[name]:
+        secs, stage = _time_best(
+            make_inform(GossipConfig(knowledge="sparse", kernel="python", **base)), reps
+        )
+        inform_kernel_secs["python"] = secs
+        kernel_equivalent = stage.n_messages == inform_messages["sparse"]
 
     engines = ("lists", "soa") if _RUNG_REFERENCE[name] else ("soa",)
     transfer_secs: dict[str, float] = {}
@@ -209,6 +282,32 @@ def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str
         secs, stats = _time_best(bench_transfer, reps)
         transfer_secs[engine] = secs
         transfer_counts[engine] = stats.transfers
+        if profile and engine == "soa":
+            profiles[f"transfer_soa_{name}"] = _profile_text(bench_transfer)
+
+    # Full-episode case: Algorithm 3 end to end at this rank count —
+    # inform + CMF + transfer + trial selection — under the shipping
+    # configuration ("auto" backend and kernel). One repeat: episodes
+    # are the most expensive cases on the ladder and the per-stage
+    # wall timers expose where the time went anyway.
+    ep_trials, ep_iters = _RUNG_EPISODE[name]
+
+    def bench_episode() -> StatsRegistry:
+        registry = StatsRegistry()
+        iterative_refinement(
+            dist,
+            n_trials=ep_trials,
+            n_iters=ep_iters,
+            gossip=GossipConfig(knowledge="auto", **base),
+            transfer=TransferConfig(),
+            rng=np.random.default_rng(seed + 3),
+            registry=registry,
+        )
+        return registry
+
+    episode_secs, episode_registry = _time_best(bench_episode, 1)
+    if profile:
+        profiles[f"refinement_{name}"] = _profile_text(bench_episode)
 
     return {
         "scale": name,
@@ -221,24 +320,38 @@ def _run_scale_rung(name: str, quick: bool, repeats: int, seed: int) -> dict[str
         "repeats": reps,
         "auto_backend": auto_backend,
         "inform_seconds": inform_secs,
+        "inform_kernel_seconds": inform_kernel_secs,
+        "kernel_equivalent": kernel_equivalent,
         "inform_messages": inform_messages,
         "knowledge_memory_mb": inform_mem,
         "transfer_seconds": transfer_secs,
         "transfers": transfer_counts,
         "equivalent_transfers": len(set(transfer_counts.values())) <= 1,
+        "refinement": {
+            "seconds": episode_secs,
+            "n_trials": ep_trials,
+            "n_iters": ep_iters,
+            "stage_walls": {
+                k: float(v) for k, v in episode_registry.timers.items()
+            },
+        },
         "peak_rss_budget_mb": SCALE_RSS_BUDGET_MB[name],
+        "profiles": profiles,
     }
 
 
-def _scale_rung_worker(conn, name: str, quick: bool, repeats: int, seed: int) -> None:
+def _scale_rung_worker(
+    conn, name: str, quick: bool, repeats: int, seed: int, profile: bool = False
+) -> None:
     """Spawn target: run one rung and ship the result over a pipe.
 
     Runs in a fresh process so ``ru_maxrss`` — a process-lifetime
     high-water mark — measures this rung alone, not whatever larger
-    rung or suite ran earlier in the parent.
+    rung or suite ran earlier in the parent. Profile texts (when
+    requested) travel back over the same pipe as part of the record.
     """
     try:
-        payload = _run_scale_rung(name, quick, repeats, seed)
+        payload = _run_scale_rung(name, quick, repeats, seed, profile=profile)
         payload["peak_rss_mb"] = _peak_rss_mb()
         conn.send(payload)
     except BaseException as exc:  # pragma: no cover - surfaced in the parent
@@ -248,7 +361,11 @@ def _scale_rung_worker(conn, name: str, quick: bool, repeats: int, seed: int) ->
 
 
 def run_scale_ladder(
-    scale: str, quick: bool = False, repeats: int = 3, seed: int = 0
+    scale: str,
+    quick: bool = False,
+    repeats: int = 3,
+    seed: int = 0,
+    profile: bool = False,
 ) -> list[dict[str, Any]]:
     """Run the ``--scale`` ladder and return one record per rung.
 
@@ -272,7 +389,8 @@ def run_scale_ladder(
             ctx = multiprocessing.get_context("spawn")
             recv, send = ctx.Pipe(duplex=False)
             proc = ctx.Process(
-                target=_scale_rung_worker, args=(send, name, quick, repeats, seed)
+                target=_scale_rung_worker,
+                args=(send, name, quick, repeats, seed, profile),
             )
             proc.start()
             send.close()
@@ -284,7 +402,7 @@ def run_scale_ladder(
                 proc.join()
             record["subprocess"] = True
         except (ImportError, OSError, ValueError):
-            record = _run_scale_rung(name, quick, repeats, seed)
+            record = _run_scale_rung(name, quick, repeats, seed, profile=profile)
             record["peak_rss_mb"] = _peak_rss_mb()
             record["subprocess"] = False
         if "error" in record:
@@ -300,6 +418,7 @@ def run_benchmarks(
     workers: int | None = None,
     executor: str = EXECUTOR_AUTO,
     scale: str | None = None,
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Run every benchmark case and return the ``BENCH_perf.json`` payload.
 
@@ -313,10 +432,19 @@ def run_benchmarks(
     ``scale`` additionally runs the rank-count ladder (a rung name or
     ``"all"``; see :func:`run_scale_ladder`): the payload gains a
     ``scale_ladder`` section, per-rung benchmark rows tagged with their
-    rung, and one ``inform_backend_auto_vs_alt_<rung>`` speedup per
-    rung where the alternative backend was tractable — the ratio that
-    proves ``knowledge="auto"`` picks the faster backend at that rank
-    count.
+    rung (including one ``refinement/<rung>`` full-episode row and an
+    ``inform/sparse-python`` reference row where the race ran), and per
+    rung:
+
+    - ``inform_backend_auto_vs_alt_<rung>`` — the ratio that proves
+      ``knowledge="auto"`` picks the faster backend at that rank count;
+    - ``inform_sparse_kernel_vs_python_<rung>`` — the fused sparse
+      driver against the pure-Python reference, with the headline
+      ``inform_sparse_kernel_vs_python`` pinned to the 32k rung (the
+      largest raced scale).
+
+    ``profile=True`` runs each headline case once more under cProfile
+    and returns the top-20 cumulative listings in ``payload["profiles"]``.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -328,6 +456,7 @@ def run_benchmarks(
         dist.assignment, weights=dist.task_loads, minlength=dist.n_ranks
     )
     results: list[BenchResult] = []
+    profiles: dict[str, str] = {}
 
     # -- inform stage: per-sender loop reference vs batched fast path -------
     inform_secs: dict[str, float] = {}
@@ -346,6 +475,8 @@ def run_benchmarks(
         inform_secs[engine] = secs
         if engine == "batched":
             inform = stage  # feeds the transfer benchmarks below
+            if profile:
+                profiles["inform_batched"] = _profile_text(bench_inform)
         results.append(
             BenchResult(
                 f"inform/{engine}",
@@ -390,6 +521,8 @@ def run_benchmarks(
         secs, stats = _time_best(bench_transfer, repeats)
         transfer_secs[mode] = secs
         transfer_counts[mode] = stats.transfers
+        if profile and mode == CMF_UPDATE_INCREMENTAL:
+            profiles["transfer_incremental"] = _profile_text(bench_transfer)
         results.append(
             BenchResult(
                 f"transfer/{mode}",
@@ -429,6 +562,8 @@ def run_benchmarks(
 
         secs, registry = _time_best(bench_refinement, repeats)
         refine_secs[label] = secs
+        if profile and label == "serial":
+            profiles["refinement_serial"] = _profile_text(bench_refinement)
         timers = {k: float(v) for k, v in registry.timers.items()}
         if label == "serial":
             wall_timers = timers
@@ -486,8 +621,12 @@ def run_benchmarks(
     # -- rank-count ladder (opt-in via ``scale``) ---------------------------
     ladder: list[dict[str, Any]] = []
     if scale is not None:
-        ladder = run_scale_ladder(scale, quick=quick, repeats=repeats, seed=seed)
+        ladder = run_scale_ladder(
+            scale, quick=quick, repeats=repeats, seed=seed, profile=profile
+        )
+        kernel_ratios: dict[str, float] = {}
         for rung in ladder:
+            profiles.update(rung.pop("profiles", {}))
             tag = {
                 "scale": rung["scale"],
                 "n_ranks": rung["n_ranks"],
@@ -507,6 +646,27 @@ def run_benchmarks(
                         },
                     )
                 )
+            kernel_secs = rung.get("inform_kernel_seconds", {})
+            if "python" in kernel_secs:
+                results.append(
+                    BenchResult(
+                        "inform/sparse-python",
+                        kernel_secs["python"],
+                        rung["repeats"],
+                        {
+                            **tag,
+                            "knowledge": "sparse",
+                            "kernel": "python",
+                            "kernel_equivalent": rung.get("kernel_equivalent", True),
+                        },
+                    )
+                )
+                kernel_ratios[rung["scale"]] = (
+                    kernel_secs["python"] / kernel_secs["fast"]
+                )
+                speedups[f"inform_sparse_kernel_vs_python_{rung['scale']}"] = (
+                    kernel_ratios[rung["scale"]]
+                )
             for engine, secs in rung["transfer_seconds"].items():
                 results.append(
                     BenchResult(
@@ -521,6 +681,24 @@ def run_benchmarks(
                         },
                     )
                 )
+            episode = rung.get("refinement")
+            if episode:
+                walls = episode["stage_walls"]
+                results.append(
+                    BenchResult(
+                        f"refinement/{rung['scale']}",
+                        episode["seconds"],
+                        1,
+                        {
+                            **tag,
+                            "n_trials": episode["n_trials"],
+                            "n_iters": episode["n_iters"],
+                            "knowledge": rung["auto_backend"],
+                            "wall_inform": walls.get("wall.inform", 0.0),
+                            "wall_transfer": walls.get("wall.transfer", 0.0),
+                        },
+                    )
+                )
             # The gated ladder invariant: whatever backend "auto" picks
             # at this rank count must beat the alternative. Rungs run
             # without a reference backend (131k) contribute timing and
@@ -531,6 +709,12 @@ def run_benchmarks(
                     rung["inform_seconds"][alts[0]]
                     / rung["inform_seconds"][rung["auto_backend"]]
                 )
+        # The headline kernel ratio is the largest raced rung (32k when
+        # the full ladder runs) — the scale the fused driver exists for.
+        if kernel_ratios:
+            speedups["inform_sparse_kernel_vs_python"] = kernel_ratios.get(
+                "32k", max(kernel_ratios.values())
+            )
     # Stage timers are cumulative per trial and measure elapsed time
     # inside each worker (descheduled slices included); wall.refinement
     # is the true span. Their ratio is the utilization of the parallel
@@ -557,6 +741,7 @@ def run_benchmarks(
         "benchmarks": [r.to_dict() for r in results],
         "speedups": speedups,
         "scale_ladder": ladder,
+        "profiles": profiles,
         "wall_timers": wall_timers,
         "refinement_parallel": {
             "executor": parallel_backend,
@@ -609,14 +794,30 @@ def format_report(payload: dict[str, Any]) -> str:
     for name, value in payload["speedups"].items():
         lines.append(f"  speedup {name}: {value:.2f}x")
     for rung in payload.get("scale_ladder", ()):
+        mem = rung.get("knowledge_memory_mb", {})
+        mem_part = (
+            ", knowledge "
+            + "/".join(f"{b}={v:.1f}MB" for b, v in sorted(mem.items()))
+            if mem
+            else ""
+        )
         lines.append(
             f"  rung {rung['scale']}: {rung['n_ranks']} ranks, "
-            f"{rung['n_tasks']} tasks, auto={rung['auto_backend']}, "
-            f"peak RSS {rung['peak_rss_mb']:.0f} MB "
+            f"{rung['n_tasks']} tasks, auto={rung['auto_backend']}"
+            f"{mem_part}, peak RSS {rung['peak_rss_mb']:.0f} MB "
             f"(budget {rung['peak_rss_budget_mb']} MB"
             + ("" if rung.get("subprocess", True) else ", in-process upper bound")
             + ")"
         )
+        episode = rung.get("refinement")
+        if episode:
+            walls = episode.get("stage_walls", {})
+            lines.append(
+                f"    episode ({episode['n_trials']}x{episode['n_iters']}): "
+                f"{episode['seconds']:.2f}s total, "
+                f"inform {walls.get('wall.inform', 0.0):.2f}s, "
+                f"transfer {walls.get('wall.transfer', 0.0):.2f}s"
+            )
     refinement = payload.get("refinement_parallel")
     if refinement and refinement["wall_seconds"]:
         lines.append(

@@ -21,8 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.gossip import ENTRY_BYTES, HEADER_BYTES, GossipResult
-from repro.core.knowledge import KnowledgeBitmap, PackedKnowledgeBitmap
+from repro.core.gossip import (
+    ENTRY_BYTES,
+    HEADER_BYTES,
+    SPARSE_AUTO_MIN_RANKS_FAST,
+    GossipResult,
+)
+from repro.core.knowledge import (
+    KnowledgeBitmap,
+    PackedKnowledgeBitmap,
+    SparseKnowledge,
+)
 from repro.sim.process import Process, System
 from repro.sim.rng import RankStreams
 from repro.sim.termination import SafraDetector
@@ -37,7 +46,7 @@ _gossip_counter = 0
 class GossipOutcome:
     """Result of one event-level inform stage."""
 
-    knowledge: KnowledgeBitmap | PackedKnowledgeBitmap
+    knowledge: KnowledgeBitmap | PackedKnowledgeBitmap | SparseKnowledge
     underloaded: np.ndarray
     load_snapshot: np.ndarray
     average_load: float
@@ -71,9 +80,15 @@ class DistributedGossip:
         streams: RankStreams | None = None,
         packed: bool = True,
         detector: "object | None" = None,
+        knowledge: str | None = None,
     ) -> None:
         check_positive("fanout", fanout)
         check_positive("rounds", rounds)
+        if knowledge is not None and knowledge not in ("auto", "packed", "sparse"):
+            raise ValueError(
+                'knowledge must be one of None, "auto", "packed", "sparse", '
+                f"got {knowledge!r}"
+            )
         self.system = system
         self.loads = np.ascontiguousarray(rank_loads, dtype=np.float64)
         if self.loads.size != system.n_ranks:
@@ -89,6 +104,16 @@ class DistributedGossip:
         #: protocol exchanges rank-id arrays either way, so the choice
         #: never affects traffic or RNG consumption.
         self.packed = bool(packed)
+        #: Explicit backend selection overriding ``packed``: "packed",
+        #: "sparse" (per-rank sorted id shards — the O(sum |S^p|)
+        #: representation for high rank counts) or "auto" (sparse from
+        #: ``SPARSE_AUTO_MIN_RANKS_FAST`` ranks, packed below). ``None``
+        #: keeps the legacy ``packed`` bool semantics. All backends
+        #: exchange identical id arrays and consume identical RNG, so
+        #: zero-fault outcomes are bit-identical across the choice —
+        #: fault buffers (maturing/expired/duplicate deliveries) behave
+        #: the same way on every backend too.
+        self.knowledge = knowledge
         #: Optional failure detector
         #: (:class:`repro.sim.faults.HeartbeatFailureDetector`); when
         #: provided, suspected ranks are skipped as gossip targets and
@@ -111,7 +136,17 @@ class DistributedGossip:
             faults = None
 
         underloaded = self.loads < self.average_load
-        know = PackedKnowledgeBitmap(n) if self.packed else KnowledgeBitmap(n)
+        backend = self.knowledge
+        if backend == "auto":
+            backend = "sparse" if n >= SPARSE_AUTO_MIN_RANKS_FAST else "packed"
+        if backend == "sparse":
+            know: KnowledgeBitmap | PackedKnowledgeBitmap | SparseKnowledge = (
+                SparseKnowledge(n)
+            )
+        elif backend == "packed" or (backend is None and self.packed):
+            know = PackedKnowledgeBitmap(n)
+        else:
+            know = KnowledgeBitmap(n)
         seeds = np.flatnonzero(underloaded)
         if faults is not None:
             # Crashed ranks cannot initiate gossip about themselves.

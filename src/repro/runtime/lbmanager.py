@@ -177,6 +177,7 @@ class LBManager:
                     rounds=cfg.rounds,
                     streams=self.streams,
                     detector=self.failure_detector,
+                    knowledge=cfg.knowledge,
                 ).run()
                 gossip_time += gossip.elapsed
                 gossip_messages += gossip.n_messages

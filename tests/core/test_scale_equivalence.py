@@ -18,6 +18,7 @@ import pytest
 
 from repro.core.gossip import (
     SPARSE_AUTO_MIN_RANKS,
+    SPARSE_AUTO_MIN_RANKS_FAST,
     GossipConfig,
     run_inform_stage,
 )
@@ -123,9 +124,17 @@ class TestKnowledgeKnob:
             GossipConfig(knowledge="csr")
 
     def test_auto_resolution_rule(self):
-        capped = GossipConfig(max_known=512)
-        assert capped.resolve_knowledge(SPARSE_AUTO_MIN_RANKS) == "sparse"
-        assert capped.resolve_knowledge(SPARSE_AUTO_MIN_RANKS - 1) == "packed"
+        # The threshold follows the measured packed/sparse crossover of
+        # the selected driver: the fused driver ("auto"/"numba") wins
+        # from the 8k rung, the Python reference only from 32k.
+        for kernel, threshold in (
+            ("auto", SPARSE_AUTO_MIN_RANKS_FAST),
+            ("numba", SPARSE_AUTO_MIN_RANKS_FAST),
+            ("python", SPARSE_AUTO_MIN_RANKS),
+        ):
+            capped = GossipConfig(max_known=512, kernel=kernel)
+            assert capped.resolve_knowledge(threshold) == "sparse"
+            assert capped.resolve_knowledge(threshold - 1) == "packed"
         # No cap -> shards are O(P^2) too; auto stays packed.
         assert GossipConfig().resolve_knowledge(SPARSE_AUTO_MIN_RANKS) == "packed"
         # Packed-only features keep auto on packed at any rank count.

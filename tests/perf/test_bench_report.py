@@ -74,6 +74,34 @@ class TestFormatReport:
         rung = next(l for l in report.splitlines() if l.strip().startswith("rung"))
         assert "740" in rung and "4096" in rung and "auto=sparse" in rung
 
+    def test_rung_summary_includes_knowledge_memory(self):
+        payload = _payload()
+        payload["scale_ladder"][0]["knowledge_memory_mb"] = {
+            "packed": 128.0,
+            "sparse": 1.9,
+        }
+        rung = next(
+            l for l in format_report(payload).splitlines()
+            if l.strip().startswith("rung")
+        )
+        assert "packed=128.0MB" in rung and "sparse=1.9MB" in rung
+
+    def test_rung_episode_line_prints_stage_walls(self):
+        payload = _payload()
+        payload["scale_ladder"][0]["refinement"] = {
+            "seconds": 21.5,
+            "n_trials": 1,
+            "n_iters": 2,
+            "stage_walls": {"wall.inform": 17.0, "wall.transfer": 3.1},
+        }
+        report = format_report(payload)
+        episode = next(
+            l for l in report.splitlines() if l.strip().startswith("episode")
+        )
+        assert "1x2" in episode
+        assert "21.50s total" in episode
+        assert "inform 17.00s" in episode and "transfer 3.10s" in episode
+
     def test_in_process_rss_is_flagged(self):
         payload = _payload()
         payload["scale_ladder"][0]["subprocess"] = False

@@ -199,6 +199,22 @@ class TestBench:
         assert payload["speedups"]["transfer_incremental_vs_rebuild"] > 0
         assert payload["speedups"]["inform_batched_vs_loop"] > 0
 
+    def test_profile_writes_hotspot_listings(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--quick", "--repeats", "1", "--profile", "--json", "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        results = tmp_path / "benchmarks" / "results"
+        written = sorted(p.name for p in results.glob("profile_*.txt"))
+        assert {
+            "profile_inform_batched.txt",
+            "profile_transfer_incremental.txt",
+            "profile_refinement_serial.txt",
+        } <= set(written)
+        text = (results / "profile_inform_batched.txt").read_text()
+        assert "cumulative" in text  # pstats sort order header
+        assert "[profile: " in out
+
     def test_dash_skips_json(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         code = main(["bench", "--quick", "--repeats", "1", "--json", "-"])
