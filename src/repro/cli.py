@@ -143,7 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--knowledge",
         choices=["auto", "packed", "sparse"],
         default=None,
-        help="event-level knowledge backend (default: packed bitmap)",
+        help="event-level knowledge backend (default: packed bitmap; "
+        "'auto' switches to sparse at the shared reference-driver "
+        "crossover of 32768 ranks — resolve_auto_threshold('python'))",
     )
     _add_fault_flags(p, churn=True)
     p.add_argument("--json", type=str, default=None)
@@ -222,6 +224,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default BENCH_<suite>.json; '-' to skip writing)",
     )
 
+    p = sub.add_parser(
+        "net", help="real-socket runtime: run and analyze loopback episodes"
+    )
+    netsub = p.add_subparsers(dest="net_command", required=True)
+    pr = netsub.add_parser(
+        "run", help="run one LB episode over real loopback TCP sockets"
+    )
+    pr.add_argument("--ranks", type=int, default=64)
+    pr.add_argument("--tasks", type=int, default=None,
+                    help="task count (default 32 per rank)")
+    pr.add_argument("--loaded-ranks", type=int, default=None,
+                    help="initially loaded ranks (default ranks/8)")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--fanout", type=int, default=6)
+    pr.add_argument("--rounds", type=int, default=10)
+    pr.add_argument("--iters", type=int, default=1,
+                    help="inform+transfer iterations per episode")
+    pr.add_argument("--workers", type=int, default=1,
+                    help="in-process worker shards hosting the rank nodes")
+    pr.add_argument("--processes", type=int, default=0,
+                    help="shard ranks across N real worker OS processes "
+                    "(0 = in-process coroutine workers; sockets are real "
+                    "either way)")
+    pr.add_argument("--out", type=str, default="net_episode",
+                    help="artifact directory (result.json + logs/)")
+    pr.add_argument("--no-logs", action="store_true",
+                    help="skip per-node JSONL wire logs")
+    pr.add_argument("--timeout", type=float, default=300.0,
+                    help="wall-clock budget for the episode (seconds)")
+    pr.add_argument("--check", action="store_true",
+                    help="also run the simulator reference and fail unless "
+                    "the results are bit-identical (the CI net-smoke gate)")
+    pa = netsub.add_parser(
+        "analyze", help="summarize a net episode directory (result + wire logs)"
+    )
+    pa.add_argument("dir", type=str, help="artifact directory from 'net run'")
+    pa.add_argument("--json", type=str, default=None)
+
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -234,6 +274,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "amr": _cmd_amr,
         "bench": _cmd_bench,
         "empire": _cmd_empire,
+        "net": _cmd_net,
         "protocols": _cmd_protocols,
         "stats": _cmd_stats,
         "sweep": _cmd_sweep,
@@ -512,19 +553,106 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # Profile listings go to files, not the committed JSON: they are
         # host-specific flat text, useful next to the run that made them.
         profiles = payload.pop("profiles", {})
-        if profiles:
-            from pathlib import Path
-
-            outdir = Path("benchmarks/results")
-            outdir.mkdir(parents=True, exist_ok=True)
-            for case, text in sorted(profiles.items()):
-                path = outdir / f"profile_{case}.txt"
-                path.write_text(text)
-                print(f"[profile: {path}]")
+        for path in write_profiles(profiles):
+            print(f"[profile: {path}]")
         out = args.json if args.json is not None else "BENCH_perf.json"
     if out and out != "-":
         save_json(payload, out)
         print(f"\n[saved to {out}]")
+    return 0
+
+
+def write_profiles(
+    profiles: dict[str, str], outdir: "str | None" = None
+) -> list:
+    """Write per-case profile listings atomically under ``outdir``.
+
+    Each file lands via a same-directory temp name and ``os.replace`` so
+    a crash (or a case whose profile text errored upstream) never leaves
+    a truncated ``profile_<case>.txt`` behind. Returns the paths written.
+    """
+    import os
+    from pathlib import Path
+
+    if not profiles:
+        return []
+    out = Path(outdir) if outdir is not None else Path("benchmarks/results")
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for case, text in sorted(profiles.items()):
+        path = out / f"profile_{case}.txt"
+        tmp = out / f".profile_{case}.txt.tmp"
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        written.append(path)
+    return written
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    from repro.net import (
+        EpisodeSpec,
+        NetOptions,
+        run_episode_net,
+        run_episode_sim,
+        save_result,
+    )
+    from repro.net.analyze import analyze_episode, format_report
+
+    if args.net_command == "analyze":
+        report = analyze_episode(args.dir)
+        print(format_report(report))
+        if args.json:
+            from repro.analysis.io import save_json
+
+            save_json(report, args.json)
+        return 0 if report.get("consistent", True) else 1
+
+    from pathlib import Path
+
+    spec = EpisodeSpec.synthetic(
+        args.ranks,
+        n_tasks=args.tasks,
+        n_loaded_ranks=args.loaded_ranks,
+        seed=args.seed,
+        fanout=args.fanout,
+        rounds=args.rounds,
+        n_iters=args.iters,
+    )
+    outdir = Path(args.out)
+    log_dir = None if args.no_logs else str(outdir / "logs")
+    options = NetOptions(
+        workers=args.processes if args.processes > 0 else args.workers,
+        processes=args.processes > 0,
+        log_dir=log_dir,
+        timeout=args.timeout,
+    )
+    result = run_episode_net(spec, options)
+    save_result(outdir / "result.json", spec, result, options)
+    mode = (
+        f"{args.processes} OS processes" if options.processes
+        else f"{options.workers} in-process workers"
+    )
+    print(
+        f"net episode: {spec.n_ranks} ranks over loopback TCP ({mode})\n"
+        f"  gossip: {result.n_messages} messages in "
+        f"{len(result.per_round_messages)} rounds, "
+        f"coverage {result.coverage:.4f}\n"
+        f"  transfers: {len(result.moves)} moves\n"
+        f"  imbalance: {result.initial_imbalance:.4f} -> "
+        f"{result.final_imbalance:.4f}\n"
+        f"  artifacts: {outdir / 'result.json'}"
+        + (f", {log_dir}/" if log_dir else "")
+    )
+    if args.check:
+        reference = run_episode_sim(spec)
+        if reference.to_dict() != result.to_dict():
+            print("bit-identity: FAILED — net result diverges from simulator")
+            return 1
+        print("bit-identity: net == sim (field-for-field)")
     return 0
 
 

@@ -85,11 +85,25 @@ __all__ = [
     "shard_membership",
     "coverage_hits",
     "get_gossip_kernels",
+    "reset_numba_warnings",
     "warn_numba_missing",
 ]
 
 #: Features that already warned about a missing numba (warn once each).
 _WARNED_FEATURES: set[str] = set()
+
+
+def reset_numba_warnings() -> None:
+    """Forget which features have warned about a missing numba.
+
+    The warn-once set is process-global, which is right for episodes but
+    wrong for test isolation (an earlier test swallows the warning a
+    later one asserts on) and for forked workers (a COW copy of the
+    parent's pre-warmed set would silently suppress the child's first
+    warning). Test fixtures and worker initializers call this to start
+    from a clean slate.
+    """
+    _WARNED_FEATURES.clear()
 
 
 def warn_numba_missing(feature: str) -> None:

@@ -56,6 +56,7 @@ __all__ = [
     "GossipResult",
     "GossipExplosionError",
     "run_inform_stage",
+    "resolve_auto_threshold",
     "SPARSE_AUTO_MIN_RANKS",
     "SPARSE_AUTO_MIN_RANKS_FAST",
 ]
@@ -103,6 +104,24 @@ SPARSE_AUTO_MIN_RANKS = 32_768
 #: 3.55x at 32768. Auto therefore switches at 8192 ranks when the
 #: fused driver is selected.
 SPARSE_AUTO_MIN_RANKS_FAST = 8_192
+
+
+def resolve_auto_threshold(kernel: str) -> int:
+    """The ``knowledge="auto"`` packed→sparse crossover rank count.
+
+    Single source of truth for every driver that auto-selects a
+    backend: the fused sparse driver (``kernel="auto"``/``"numba"``)
+    crosses over at :data:`SPARSE_AUTO_MIN_RANKS_FAST`; the per-receiver
+    Python reference (``kernel="python"`` — and the event-level
+    :class:`repro.runtime.distributed_gossip.DistributedGossip`, whose
+    scalar merge path has reference-driver economics) at
+    :data:`SPARSE_AUTO_MIN_RANKS`.
+    """
+    return (
+        SPARSE_AUTO_MIN_RANKS
+        if kernel == "python"
+        else SPARSE_AUTO_MIN_RANKS_FAST
+    )
 
 
 @dataclass(frozen=True)
@@ -203,11 +222,7 @@ class GossipConfig:
         """
         if self.knowledge != "auto":
             return self.knowledge
-        threshold = (
-            SPARSE_AUTO_MIN_RANKS
-            if self.kernel == "python"
-            else SPARSE_AUTO_MIN_RANKS_FAST
-        )
+        threshold = resolve_auto_threshold(self.kernel)
         if (
             self.mode == "coalesced"
             and self.engine == "batched"
@@ -246,6 +261,11 @@ class GossipResult:
     duplicated: int = 0
     retransmits: int = 0
     expired: int = 0
+    #: Backend the stage actually ran ("packed"/"sparse"/"reference")
+    #: and the auto crossover that applied — so callers (bench meta,
+    #: CLI reports) never re-derive the selection and drift from it.
+    knowledge_backend: str = ""
+    auto_threshold: int = 0
 
     def coverage(self) -> float:
         """Mean fraction of underloaded ranks known per rank."""
@@ -342,6 +362,10 @@ def run_inform_stage(
         underloaded=underloaded,
         load_snapshot=loads.copy(),
         average_load=l_ave,
+        knowledge_backend=(
+            "sparse" if sparse else "packed" if batched else "reference"
+        ),
+        auto_threshold=resolve_auto_threshold(config.kernel),
     )
     seeds = np.flatnonzero(underloaded)
     if seeds.size == 0:

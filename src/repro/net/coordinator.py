@@ -1,0 +1,297 @@
+"""Episode coordinator: spawn workers, run the barrier protocol, collect.
+
+The coordinator is pure *control plane*. Gossip and transfer messages
+never pass through it — they flow rank-to-rank over the dispatcher
+sockets — but every round barrier does: workers report per-destination
+send counts, the coordinator aggregates them into per-rank expected
+arrival counts and broadcasts the commit, and no rank advances a round
+before its arrivals match its commit. That turns TCP's "eventually, in
+some order" into the deterministic round structure
+:class:`~repro.net.episode.NodeCore` needs, without ever looking at
+message *content*.
+
+Workers are either coroutines in this process (``processes=0``, the
+default — still real loopback TCP between every node) or real OS
+processes started as ``python -m repro.net.node`` (``processes=N``).
+The control protocol is identical; workers cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.net.dispatcher import RetryPolicy
+from repro.net.episode import (
+    EpisodeResult,
+    EpisodeSpec,
+    EpisodeTally,
+    build_result,
+    episode_coverage,
+)
+from repro.net.node import run_worker
+from repro.net.wire import FrameError, read_frame, write_frame
+from repro.obs import StatsRegistry
+
+__all__ = ["NetOptions", "run_episode_net", "run_episode_net_async", "save_result"]
+
+
+@dataclass(frozen=True)
+class NetOptions:
+    """How to host an episode's ranks."""
+
+    workers: int = 1  #: worker containers to shard ranks across
+    processes: bool = False  #: real OS processes vs in-loop coroutines
+    log_dir: str | None = None  #: per-node JSONL wire logs (None = off)
+    timeout: float = 300.0  #: wall-clock budget for the whole episode
+    policy: RetryPolicy = RetryPolicy()  #: dispatcher retry/backoff
+
+
+class _WorkerConn:
+    """One worker's control connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.ranks: list[int] = []
+
+    async def send(self, frame: dict[str, Any]) -> None:
+        await write_frame(self.writer, frame)
+
+    async def expect(self, *types: str) -> dict[str, Any]:
+        frame = await read_frame(self.reader)
+        if frame is None:
+            raise FrameError(f"worker closed while coordinator expected {types}")
+        if frame.get("t") not in types:
+            raise FrameError(
+                f"expected worker frame {types}, got {frame.get('t')!r}"
+            )
+        return frame
+
+
+async def run_episode_net_async(
+    spec: EpisodeSpec, options: NetOptions | None = None
+) -> EpisodeResult:
+    """Run one episode over real sockets; returns the canonical result."""
+    options = options or NetOptions()
+    return await asyncio.wait_for(
+        _run_episode(spec, options), timeout=options.timeout
+    )
+
+
+def run_episode_net(
+    spec: EpisodeSpec, options: NetOptions | None = None
+) -> EpisodeResult:
+    """Synchronous wrapper around :func:`run_episode_net_async`."""
+    return asyncio.run(run_episode_net_async(spec, options))
+
+
+async def _run_episode(spec: EpisodeSpec, options: NetOptions) -> EpisodeResult:
+    n_workers = max(1, min(int(options.workers), spec.n_ranks))
+    pending: asyncio.Queue[_WorkerConn] = asyncio.Queue()
+
+    async def accept(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        pending.put_nowait(_WorkerConn(reader, writer))
+
+    server = await asyncio.start_server(accept, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    worker_tasks: list[asyncio.Task] = []
+    procs: list[asyncio.subprocess.Process] = []
+    try:
+        if options.processes:
+            env = dict(os.environ)
+            src_root = str(Path(__file__).resolve().parents[2])
+            existing = env.get("PYTHONPATH", "")
+            env["PYTHONPATH"] = (
+                src_root + (os.pathsep + existing if existing else "")
+            )
+            for _ in range(n_workers):
+                procs.append(
+                    await asyncio.create_subprocess_exec(
+                        sys.executable,
+                        "-m",
+                        "repro.net.worker",
+                        str(host),
+                        str(port),
+                        env=env,
+                    )
+                )
+        else:
+            worker_tasks = [
+                asyncio.create_task(run_worker(host, port))
+                for _ in range(n_workers)
+            ]
+
+        conns: list[_WorkerConn] = []
+        for _ in range(n_workers):
+            conn = await pending.get()
+            await conn.expect("hello")
+            conns.append(conn)
+
+        result = await _drive(spec, options, conns)
+
+        for task in worker_tasks:
+            await task
+        for proc in procs:
+            await proc.wait()
+        return result
+    finally:
+        for task in worker_tasks:
+            if not task.done():
+                task.cancel()
+        for proc in procs:
+            if proc.returncode is None:
+                proc.kill()
+        server.close()
+        await server.wait_closed()
+
+
+async def _drive(
+    spec: EpisodeSpec, options: NetOptions, conns: list[_WorkerConn]
+) -> EpisodeResult:
+    """The coordinator's half of the worker protocol."""
+    n = spec.n_ranks
+    # Contiguous rank slices, remainder spread over the first workers.
+    base, extra = divmod(n, len(conns))
+    start = 0
+    for i, conn in enumerate(conns):
+        width = base + (1 if i < extra else 0)
+        conn.ranks = list(range(start, start + width))
+        start += width
+
+    assign_base = {
+        "t": "assign",
+        "spec": spec.to_dict(),
+        "log_dir": options.log_dir,
+        "policy": asdict(options.policy),
+    }
+    if options.log_dir is not None:
+        Path(options.log_dir).mkdir(parents=True, exist_ok=True)
+    for conn in conns:
+        await conn.send({**assign_base, "ranks": conn.ranks})
+
+    ports: dict[int, int] = {}
+    for conn in conns:
+        frame = await conn.expect("ports")
+        ports.update({int(r): int(p) for r, p in frame["ports"].items()})
+    for conn in conns:
+        await conn.send(
+            {"t": "peers", "ports": {str(r): p for r, p in ports.items()}}
+        )
+
+    tally = EpisodeTally()
+    all_moves: list[tuple[int, int, int]] = []
+    coverage = 1.0
+    for iteration in range(spec.n_iters):
+        round_index = 1
+        while True:
+            counts: dict[int, int] = {}
+            dst_counts: dict[int, int] = {}
+            nbytes = 0
+            for conn in conns:
+                report = await conn.expect("sent")
+                if int(report["round"]) != round_index:
+                    raise FrameError(
+                        f"worker reported round {report['round']}, "
+                        f"coordinator at {round_index}"
+                    )
+                counts.update(
+                    {int(r): int(c) for r, c in report["rank_counts"].items()}
+                )
+                for d, c in report["dst_counts"].items():
+                    dst_counts[int(d)] = dst_counts.get(int(d), 0) + int(c)
+                nbytes += int(report["bytes"])
+            if tally.record_round_counts(counts, nbytes) == 0:
+                for conn in conns:
+                    await conn.send({"t": "gossip_done"})
+                break
+            commit = {
+                "t": "commit",
+                "round": round_index,
+                "expect": {str(r): dst_counts.get(r, 0) for r in range(n)},
+            }
+            for conn in conns:
+                await conn.send(commit)
+            round_index += 1
+
+        moves_by_rank: dict[int, list[tuple[int, int, int]]] = {}
+        hits: dict[int, int] = {}
+        under: dict[int, bool] = {}
+        xfer_counts: dict[int, int] = {}
+        for conn in conns:
+            report = await conn.expect("decide")
+            for r, mv in report["moves"].items():
+                moves_by_rank[int(r)] = [
+                    (int(a), int(b), int(c)) for a, b, c in mv
+                ]
+            hits.update({int(r): int(h) for r, h in report["hits"].items()})
+            under.update({int(r): bool(u) for r, u in report["under"].items()})
+            for d, c in report["xfer_counts"].items():
+                xfer_counts[int(d)] = xfer_counts.get(int(d), 0) + int(c)
+        coverage = episode_coverage(
+            [hits[r] for r in range(n)], sum(under.values())
+        )
+        iteration_moves = [
+            mv for r in range(n) for mv in moves_by_rank.get(r, [])
+        ]
+        tally.record_xfers(len(iteration_moves))
+        xfer_commit = {
+            "t": "xfer_commit",
+            "expect": {str(r): xfer_counts.get(r, 0) for r in range(n)},
+        }
+        for conn in conns:
+            await conn.send(xfer_commit)
+        for conn in conns:
+            await conn.expect("xfer_done")
+        apply_frame = {
+            "t": "apply",
+            "moves": [[a, b, c] for a, b, c in iteration_moves],
+            "last": iteration == spec.n_iters - 1,
+        }
+        for conn in conns:
+            await conn.send(apply_frame)
+        all_moves.extend(iteration_moves)
+
+    merged = StatsRegistry()
+    for conn in conns:
+        frame = await conn.expect("stats")
+        for reg in frame["registries"].values():
+            merged.merge(StatsRegistry.from_dict(reg))
+    for conn in conns:
+        await conn.send({"t": "shutdown"})
+    return build_result(spec, all_moves, tally, merged.counters, coverage)
+
+
+def save_result(
+    path: Path | str,
+    spec: EpisodeSpec,
+    result: EpisodeResult,
+    options: NetOptions,
+    mode: str = "net",
+) -> Path:
+    """Write the episode artifact ``repro net analyze`` consumes."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "mode": mode,
+        "spec": spec.to_dict(),
+        "options": {
+            "workers": options.workers,
+            "processes": options.processes,
+            "log_dir": options.log_dir,
+        },
+        "result": result.to_dict(),
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,223 @@
+"""Outbound connection pool with stubborn-link retry semantics.
+
+One :class:`Dispatcher` per node owns a lazily-built TCP connection per
+peer and a per-peer FIFO send queue drained by a dedicated worker task
+— so a slow or unreachable peer never blocks traffic to the others.
+
+Failure handling mirrors :class:`repro.sim.faults.StubbornLink`, the
+simulator's exactly-once layer: a failed connect or write is retried on
+an exponential backoff schedule (``rto``, ``backoff``, ``max_retries``
+— the same knobs as :class:`repro.sim.faults.FaultConfig`), every
+enqueued frame is retransmitted until it is written to a live
+connection, and each frame carries a per-peer sequence number so the
+receiver can drop the duplicates retransmission can create
+(:meth:`repro.net.node.NetNode` keeps the ``(src, seq)`` seen-set).
+Past ``max_retries`` the dispatcher records a terminal
+:class:`DispatchError` that :meth:`drain` re-raises — giving up is
+loud, never silent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.net.logging_jsonl import WireLog
+from repro.sim.faults import FaultConfig
+
+__all__ = ["DispatchError", "RetryPolicy", "Dispatcher"]
+
+_SHUTDOWN = object()
+
+
+class DispatchError(ConnectionError):
+    """A peer stayed unreachable past the retry budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Stubborn-link backoff schedule, in wall-clock seconds."""
+
+    rto: float = 0.05  #: initial retry timeout
+    backoff: float = 2.0  #: multiplier per successive retry
+    max_retries: int | None = 10  #: attempts after the first; None = forever
+    max_delay: float = 2.0  #: backoff ceiling
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return min(self.rto * self.backoff ** (attempt - 1), self.max_delay)
+
+    @classmethod
+    def from_fault_config(
+        cls, config: FaultConfig, scale: float = 2_500.0
+    ) -> "RetryPolicy":
+        """Lift the simulator's stubborn-link knobs to wall clock.
+
+        ``rto`` in :class:`FaultConfig` is simulated seconds (2e-5 by
+        default); ``scale`` stretches it to a socket-realistic timeout
+        (default: 2e-5 -> 50 ms) while keeping the backoff curve and
+        retry budget identical to the simulated layer.
+        """
+        return cls(
+            rto=config.rto * scale,
+            backoff=config.backoff,
+            max_retries=config.max_retries,
+        )
+
+
+class _PeerChannel:
+    """One peer's send queue + worker task + connection."""
+
+    __slots__ = ("queue", "task", "writer")
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task: asyncio.Task | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+
+class Dispatcher:
+    """Per-node outbound side: ``send`` enqueues, workers deliver."""
+
+    def __init__(
+        self,
+        rank: int,
+        peers: dict[int, tuple[str, int]],
+        policy: RetryPolicy | None = None,
+        log: WireLog | None = None,
+    ) -> None:
+        self.rank = int(rank)
+        self.peers = dict(peers)
+        self.policy = policy or RetryPolicy()
+        self.log = log
+        self.sent = 0  #: frames written to a live connection
+        self.retries = 0  #: connect/write attempts that failed and were retried
+        self._channels: dict[int, _PeerChannel] = {}
+        self._seq: dict[int, int] = {}
+        self._failure: DispatchError | None = None
+
+    def send(
+        self,
+        dst: int,
+        frame: dict,
+        tag: str = "",
+        size: int = 0,
+        round_index: int | None = None,
+        iteration: int = 0,
+    ) -> None:
+        """Enqueue one frame for ``dst``; returns immediately.
+
+        The frame is stamped with a per-peer ``seq`` for receiver-side
+        dedup. ``tag``/``size``/``round_index`` feed the wire log only.
+        """
+        if self._failure is not None:
+            raise self._failure
+        if dst not in self.peers:
+            raise KeyError(f"rank {dst} is not a known peer")
+        seq = self._seq.get(dst, 0)
+        self._seq[dst] = seq + 1
+        frame = dict(frame)
+        frame["seq"] = seq
+        channel = self._channels.get(dst)
+        if channel is None:
+            channel = self._channels[dst] = _PeerChannel()
+            channel.task = asyncio.ensure_future(self._worker(dst, channel))
+        channel.queue.put_nowait((frame, tag, size, round_index, iteration))
+
+    async def drain(self) -> None:
+        """Wait until every enqueued frame has been written out.
+
+        Raises the terminal :class:`DispatchError` if any peer exceeded
+        its retry budget while draining.
+        """
+        for channel in list(self._channels.values()):
+            await channel.queue.join()
+            if self._failure is not None:
+                raise self._failure
+
+    async def close(self) -> None:
+        """Stop workers and close connections (pending frames dropped)."""
+        for channel in self._channels.values():
+            channel.queue.put_nowait((_SHUTDOWN, "", 0, None, 0))
+        for channel in self._channels.values():
+            if channel.task is not None:
+                try:
+                    await channel.task
+                except DispatchError:
+                    pass
+            if channel.writer is not None:
+                channel.writer.close()
+                try:
+                    await channel.writer.wait_closed()
+                except (OSError, asyncio.CancelledError):
+                    pass
+                channel.writer = None
+        self._channels.clear()
+
+    # -- worker side ---------------------------------------------------------
+
+    async def _worker(self, dst: int, channel: _PeerChannel) -> None:
+        from repro.net.wire import pack_frame
+
+        while True:
+            item = await channel.queue.get()
+            frame, tag, size, round_index, iteration = item
+            if frame is _SHUTDOWN:
+                channel.queue.task_done()
+                return
+            try:
+                payload = pack_frame(frame)
+                await self._deliver(dst, channel, payload, tag, round_index, iteration)
+            except DispatchError as exc:
+                self._failure = exc
+                channel.queue.task_done()
+                # Drain the rest so join() wakes; the failure re-raises
+                # from drain()/send(), not from a lost task.
+                while not channel.queue.empty():
+                    channel.queue.get_nowait()
+                    channel.queue.task_done()
+                return
+            if self.log is not None:
+                self.log.record(
+                    "tx", tag, dst, size, len(payload), round_index, iteration
+                )
+            self.sent += 1
+            channel.queue.task_done()
+
+    async def _deliver(
+        self,
+        dst: int,
+        channel: _PeerChannel,
+        payload: bytes,
+        tag: str,
+        round_index: int | None,
+        iteration: int,
+    ) -> None:
+        """Stubbornly write ``payload``: reconnect + retransmit on any
+        socket error, backing off per the policy."""
+        attempt = 0
+        while True:
+            try:
+                if channel.writer is None:
+                    host, port = self.peers[dst]
+                    _, channel.writer = await asyncio.open_connection(host, port)
+                channel.writer.write(payload)
+                await channel.writer.drain()
+                return
+            except OSError as exc:
+                if channel.writer is not None:
+                    channel.writer.close()
+                    channel.writer = None
+                attempt += 1
+                self.retries += 1
+                if self.log is not None:
+                    self.log.record(
+                        "retry", tag, dst, 0, 0, round_index, iteration
+                    )
+                budget = self.policy.max_retries
+                if budget is not None and attempt > budget:
+                    raise DispatchError(
+                        f"rank {self.rank} -> {dst}: gave up after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+                await asyncio.sleep(self.policy.delay(attempt))

@@ -1,0 +1,395 @@
+"""Live rank nodes: TCP servers around :class:`~repro.net.episode.NodeCore`.
+
+A :class:`NetNode` is one rank made real — a loopback TCP server
+receiving gossip/transfer message frames from peers, a
+:class:`~repro.net.dispatcher.Dispatcher` sending them, and the shared
+:class:`~repro.net.episode.NodeCore` state machine making every
+protocol decision. Nothing in this module decides *anything* about the
+episode; it only moves the state machine's messages over sockets and
+implements the waits the round barrier needs.
+
+:func:`run_worker` hosts a set of nodes inside one process and speaks
+the coordinator's control protocol (see
+:mod:`repro.net.coordinator` for the frame sequence). Run as a module
+(``python -m repro.net.node HOST PORT``) it becomes a standalone worker
+process that dials a coordinator — that is how
+``repro net run --processes N`` turns ranks into real OS processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.net.dispatcher import Dispatcher, RetryPolicy
+from repro.net.episode import XFER_BYTES, EpisodeSpec, GossipSend, NodeCore
+from repro.net.logging_jsonl import WireLog
+from repro.net.wire import FrameError, pack_frame, read_frame, write_frame
+from repro.sim.messages import Message, from_wire, to_wire
+
+__all__ = ["NetNode", "run_worker", "main"]
+
+
+class NetNode:
+    """One rank: server socket + dispatcher + protocol state machine."""
+
+    def __init__(
+        self,
+        spec: EpisodeSpec,
+        rank: int,
+        log: WireLog | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self.core = NodeCore(spec, rank)
+        self.rank = int(rank)
+        self.log = log
+        self.policy = policy or RetryPolicy()
+        self.iteration = 0
+        self.port: int | None = None
+        self.dispatcher: Dispatcher | None = None
+        self.deduped = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._seen: set[tuple[int, int]] = set()
+        self._gossip_counts: dict[int, int] = {}
+        self._xfer_count = 0
+        self._cond = asyncio.Condition()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind the loopback server; returns the assigned port."""
+        self._server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def connect_peers(self, ports: dict[int, int]) -> None:
+        """Wire the dispatcher once every rank's port is known."""
+        peers = {
+            r: ("127.0.0.1", p) for r, p in ports.items() if r != self.rank
+        }
+        self.dispatcher = Dispatcher(self.rank, peers, self.policy, self.log)
+
+    async def close(self) -> None:
+        if self.dispatcher is not None:
+            await self.dispatcher.close()
+        # Inbound handlers from peers whose dispatchers are still open
+        # would otherwise sit in read_frame forever (and get noisily
+        # cancelled at loop teardown).
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.log is not None:
+            self.log.close()
+
+    # -- inbound -------------------------------------------------------------
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                await self._on_frame(frame)
+        except FrameError:
+            # A peer that died mid-frame; the barrier protocol will
+            # surface the loss as a commit-count shortfall upstream.
+            pass
+        except asyncio.CancelledError:
+            pass  # node shutting down
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+
+    async def _on_frame(self, frame: dict[str, Any]) -> None:
+        seq = int(frame.get("seq", -1))
+        msg = from_wire(frame)
+        key = (msg.src, seq)
+        if key in self._seen:
+            # Retransmitted duplicate (stubborn-link dedup, the
+            # receiver half of Dispatcher's retry semantics).
+            self.deduped += 1
+            return
+        self._seen.add(key)
+        if self.log is not None:
+            round_index = (
+                int(msg.payload["round"]) if msg.tag == "gossip" else None
+            )
+            self.log.record(
+                "rx",
+                msg.tag,
+                msg.src,
+                msg.size,
+                len(pack_frame(frame)),
+                round_index,
+                self.iteration,
+            )
+        if msg.tag == "gossip":
+            round_index = int(msg.payload["round"])
+            self.core.receive(round_index, msg.payload["members"])
+            async with self._cond:
+                self._gossip_counts[round_index] = (
+                    self._gossip_counts.get(round_index, 0) + 1
+                )
+                self._cond.notify_all()
+        elif msg.tag == "xfer":
+            self.core.receive_xfer(int(msg.payload["task"]))
+            async with self._cond:
+                self._xfer_count += 1
+                self._cond.notify_all()
+        else:
+            raise FrameError(f"unexpected node-to-node tag {msg.tag!r}")
+
+    # -- outbound ------------------------------------------------------------
+
+    def send_gossip(self, sends: list[GossipSend]) -> None:
+        """Dispatch one round's gossip messages (non-blocking)."""
+        assert self.dispatcher is not None
+        for s in sends:
+            frame = to_wire(
+                Message(
+                    src=self.rank,
+                    dst=s.dst,
+                    tag="gossip",
+                    payload={"round": s.round, "members": s.members},
+                    size=s.size,
+                )
+            )
+            self.dispatcher.send(
+                s.dst, frame, tag="gossip", size=s.size,
+                round_index=s.round, iteration=self.iteration,
+            )
+
+    def send_xfers(self, sends: list[tuple[int, int]]) -> None:
+        """Dispatch this rank's transfer messages (non-blocking)."""
+        assert self.dispatcher is not None
+        for dst, task in sends:
+            frame = to_wire(
+                Message(
+                    src=self.rank,
+                    dst=dst,
+                    tag="xfer",
+                    payload={"task": task},
+                    size=XFER_BYTES,
+                )
+            )
+            self.dispatcher.send(
+                dst, frame, tag="xfer", size=XFER_BYTES,
+                iteration=self.iteration,
+            )
+
+    # -- barriers ------------------------------------------------------------
+
+    def reset_iteration(self, iteration: int) -> None:
+        """Clear per-iteration receive counters (safe: the coordinator's
+        barriers guarantee no cross-iteration traffic is in flight)."""
+        self.iteration = int(iteration)
+        self._gossip_counts = {}
+        self._xfer_count = 0
+
+    async def wait_gossip(self, round_index: int, expect: int) -> None:
+        """Block until ``expect`` round-``round_index`` messages arrived."""
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self._gossip_counts.get(round_index, 0) >= expect
+            )
+
+    async def wait_xfer(self, expect: int) -> None:
+        """Block until ``expect`` transfer messages arrived this iteration."""
+        async with self._cond:
+            await self._cond.wait_for(lambda: self._xfer_count >= expect)
+
+
+async def run_worker(host: str, port: int) -> None:
+    """Host a slice of ranks and follow the coordinator's protocol.
+
+    Control-frame sequence (worker perspective; all frames are typed by
+    the ``"t"`` key, rank keys are strings because JSON):
+
+    1. connect, send ``hello``; receive ``assign`` (spec, rank slice,
+       log dir, retry policy) and start one :class:`NetNode` per rank;
+    2. send ``ports``; receive ``peers`` and connect dispatchers;
+    3. per iteration: per round — dispatch gossip, send ``sent``
+       (per-rank and per-destination counts), receive ``commit`` (wait
+       for the expected arrivals, advance) or ``gossip_done`` (break);
+       then decide transfers, dispatch them, send ``decide``, receive
+       ``xfer_commit``, wait for arrivals, send ``xfer_done``, receive
+       ``apply`` and apply the global move list;
+    4. send ``stats`` (per-rank registries), receive ``shutdown``.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    nodes: dict[int, NetNode] = {}
+    try:
+        await write_frame(writer, {"t": "hello"})
+        assign = await _expect(reader, "assign")
+        spec = EpisodeSpec.from_dict(assign["spec"])
+        ranks = [int(r) for r in assign["ranks"]]
+        policy = RetryPolicy(**assign["policy"])
+        log_dir = assign.get("log_dir")
+        for r in ranks:
+            log = WireLog(log_dir, r) if log_dir else None
+            node = NetNode(spec, r, log=log, policy=policy)
+            await node.start()
+            nodes[r] = node
+        await write_frame(
+            writer,
+            {"t": "ports", "ports": {str(r): n.port for r, n in nodes.items()}},
+        )
+        peers = await _expect(reader, "peers")
+        ports = {int(r): int(p) for r, p in peers["ports"].items()}
+        for node in nodes.values():
+            node.connect_peers(ports)
+
+        for iteration in range(spec.n_iters):
+            for node in nodes.values():
+                node.reset_iteration(iteration)
+            sends = {r: nodes[r].core.begin_iteration() for r in ranks}
+            round_index = 1
+            while True:
+                dst_counts: dict[int, int] = {}
+                rank_bytes = 0
+                for r in ranks:
+                    nodes[r].send_gossip(sends[r])
+                    for s in sends[r]:
+                        dst_counts[s.dst] = dst_counts.get(s.dst, 0) + 1
+                        rank_bytes += s.size
+                for r in ranks:
+                    if nodes[r].dispatcher is not None:
+                        await nodes[r].dispatcher.drain()
+                await write_frame(
+                    writer,
+                    {
+                        "t": "sent",
+                        "round": round_index,
+                        "rank_counts": {str(r): len(sends[r]) for r in ranks},
+                        "bytes": rank_bytes,
+                        "dst_counts": {
+                            str(d): c for d, c in dst_counts.items()
+                        },
+                    },
+                )
+                reply = await _expect(reader, "commit", "gossip_done")
+                if reply["t"] == "gossip_done":
+                    break
+                expect = {int(r): int(c) for r, c in reply["expect"].items()}
+                await asyncio.gather(
+                    *(
+                        nodes[r].wait_gossip(round_index, expect.get(r, 0))
+                        for r in ranks
+                    )
+                )
+                sends = {r: nodes[r].core.advance(round_index) for r in ranks}
+                round_index += 1
+
+            moves: dict[str, list[list[int]]] = {}
+            hits: dict[str, int] = {}
+            under: dict[str, bool] = {}
+            xfer_counts: dict[int, int] = {}
+            for r in ranks:
+                node = nodes[r]
+                hits[str(r)] = node.core.coverage_hits()
+                under[str(r)] = bool(
+                    node.core._underloaded is not None
+                    and node.core._underloaded[r]
+                )
+                stats = node.core.decide_transfers()
+                xfers = node.core.xfer_sends(stats)
+                node.send_xfers(xfers)
+                for dst, _task in xfers:
+                    xfer_counts[dst] = xfer_counts.get(dst, 0) + 1
+                moves[str(r)] = [
+                    [int(a), int(b), int(c)] for a, b, c in stats.moves
+                ]
+            for r in ranks:
+                if nodes[r].dispatcher is not None:
+                    await nodes[r].dispatcher.drain()
+            await write_frame(
+                writer,
+                {
+                    "t": "decide",
+                    "moves": moves,
+                    "hits": hits,
+                    "under": under,
+                    "xfer_counts": {str(d): c for d, c in xfer_counts.items()},
+                },
+            )
+            commit = await _expect(reader, "xfer_commit")
+            expect = {int(r): int(c) for r, c in commit["expect"].items()}
+            await asyncio.gather(
+                *(nodes[r].wait_xfer(expect.get(r, 0)) for r in ranks)
+            )
+            await write_frame(writer, {"t": "xfer_done"})
+            apply = await _expect(reader, "apply")
+            applied = [
+                (int(a), int(b), int(c)) for a, b, c in apply["moves"]
+            ]
+            for node in nodes.values():
+                node.core.apply_moves(applied)
+
+        await write_frame(
+            writer,
+            {
+                "t": "stats",
+                "registries": {
+                    str(r): nodes[r].core.registry.to_dict() for r in ranks
+                },
+                "deduped": {str(r): nodes[r].deduped for r in ranks},
+                "retries": {
+                    str(r): (
+                        nodes[r].dispatcher.retries
+                        if nodes[r].dispatcher is not None
+                        else 0
+                    )
+                    for r in ranks
+                },
+            },
+        )
+        await _expect(reader, "shutdown")
+    finally:
+        for node in nodes.values():
+            await node.close()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+
+async def _expect(reader: asyncio.StreamReader, *types: str) -> dict[str, Any]:
+    """Read one control frame and require its type to be in ``types``."""
+    frame = await read_frame(reader)
+    if frame is None:
+        raise FrameError(f"coordinator closed while expecting {types}")
+    if frame.get("t") not in types:
+        raise FrameError(f"expected control frame {types}, got {frame.get('t')!r}")
+    return frame
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone worker process entry: dial a coordinator and serve.
+
+    Invoked as ``python -m repro.net.worker`` (see that module for why
+    the entry shim lives apart from this import target).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.worker",
+        description="Worker process for a repro.net episode.",
+    )
+    parser.add_argument("host", help="coordinator host")
+    parser.add_argument("port", type=int, help="coordinator port")
+    args = parser.parse_args(argv)
+    asyncio.run(run_worker(args.host, args.port))
+    return 0

@@ -1,0 +1,110 @@
+"""Length-prefixed JSON framing for the real-socket runtime.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON. The JSON object is either a control frame (a plain
+dict with a ``"t"`` type key, used on node↔coordinator links) or a
+message frame (the :func:`repro.sim.messages.to_wire` dict, used on
+node↔node links) — both share the same byte-level framing, so one
+reader serves every connection.
+
+msgpack would be denser, but it is not in the environment and the
+determinism contract only cares about the *logical* message content;
+model byte counters use the simulator's cost model, never
+``len(frame)``. The codec (ndarray/tuple encoding, version checks)
+lives in :mod:`repro.sim.messages` so sim and net literally share it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from repro.sim.messages import WireFormatError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "pack_frame",
+    "unpack_frame",
+    "read_frame",
+    "write_frame",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on one frame's payload. A 256-rank episode's largest
+#: frame (a full move list) is well under a megabyte; anything bigger
+#: is a corrupted length prefix, and failing fast beats a 4 GiB alloc.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(WireFormatError):
+    """A byte stream that does not follow the framing protocol."""
+
+
+def pack_frame(obj: dict[str, Any]) -> bytes:
+    """Serialize one frame: length prefix + compact JSON."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def unpack_frame(data: bytes) -> tuple[dict[str, Any], bytes]:
+    """Split one complete frame off ``data``; returns (frame, rest).
+
+    Raises :class:`FrameError` if ``data`` does not hold a complete,
+    well-formed frame (the synchronous counterpart of
+    :func:`read_frame`, used by tests and the log replayer).
+    """
+    if len(data) < _LEN.size:
+        raise FrameError("incomplete length prefix")
+    (length,) = _LEN.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    end = _LEN.size + length
+    if len(data) < end:
+        raise FrameError(f"truncated frame: need {end} bytes, have {len(data)}")
+    try:
+        obj = json.loads(data[_LEN.size : end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame body must be an object, got {type(obj).__name__}")
+    return obj, data[end:]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF mid-frame raises :class:`FrameError` — a peer that dies between
+    the prefix and the body must not look like a graceful close.
+    """
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed inside a length prefix") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed inside a frame body") from exc
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame body must be an object, got {type(obj).__name__}")
+    return obj
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict[str, Any]) -> None:
+    """Write one frame and drain the transport buffer."""
+    writer.write(pack_frame(obj))
+    await writer.drain()

@@ -1,0 +1,12 @@
+"""``python -m repro.net.worker`` — standalone worker process entry.
+
+A separate module (rather than ``-m repro.net.node``) because
+``repro.net.__init__`` imports :mod:`repro.net.node`, and running an
+already-imported module with ``-m`` makes runpy warn about double
+execution. Nothing is imported from here; it only exists to be run.
+"""
+
+from repro.net.node import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

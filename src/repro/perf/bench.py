@@ -164,18 +164,32 @@ def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
 
 
 def _profile_text(fn: Callable[[], Any], top: int = 20) -> str:
-    """Run ``fn`` once under :mod:`cProfile`; top-``top`` cumulative rows."""
+    """Run ``fn`` once under :mod:`cProfile`; top-``top`` cumulative rows.
+
+    A failing case still yields a complete listing: the traceback is
+    prepended and whatever the profiler captured before the raise
+    follows. Profiling is diagnostics — it must never abort the bench
+    run or leave its JSON/text artifacts half-written.
+    """
     import cProfile
     import io
     import pstats
+    import traceback
 
     prof = cProfile.Profile()
     prof.enable()
+    failure = None
     try:
         fn()
+    except Exception:
+        failure = traceback.format_exc()
     finally:
         prof.disable()
     buf = io.StringIO()
+    if failure is not None:
+        buf.write("PROFILED CASE FAILED — partial profile below\n")
+        buf.write(failure)
+        buf.write("\n")
     pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(top)
     return buf.getvalue()
 
@@ -319,6 +333,9 @@ def _run_scale_rung(
         "trim_policy": "lowest",
         "repeats": reps,
         "auto_backend": auto_backend,
+        "auto_threshold": (
+            gossip.auto_threshold if gossip is not None else 0
+        ),
         "inform_seconds": inform_secs,
         "inform_kernel_seconds": inform_kernel_secs,
         "kernel_equivalent": kernel_equivalent,
@@ -485,11 +502,10 @@ def run_benchmarks(
                 {
                     "messages": stage.n_messages,
                     "coverage": float(stage.coverage()),
-                    "knowledge": (
-                        "dense"
-                        if engine == "loop"
-                        else GossipConfig().resolve_knowledge(n_ranks)
-                    ),
+                    # The stage reports what it actually ran — no
+                    # re-derivation that could drift from the selector.
+                    "knowledge": stage.knowledge_backend,
+                    "auto_threshold": stage.auto_threshold,
                     # f * |senders| messages every round (candidate sets
                     # never run dry at bench scale) — the model both
                     # engines must satisfy for the comparison to be

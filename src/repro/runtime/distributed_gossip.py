@@ -24,8 +24,8 @@ import numpy as np
 from repro.core.gossip import (
     ENTRY_BYTES,
     HEADER_BYTES,
-    SPARSE_AUTO_MIN_RANKS_FAST,
     GossipResult,
+    resolve_auto_threshold,
 )
 from repro.core.knowledge import (
     KnowledgeBitmap,
@@ -53,6 +53,10 @@ class GossipOutcome:
     n_messages: int
     bytes_sent: int
     elapsed: float  #: simulated seconds from start to detected quiescence
+    #: Backend the stage actually ran and the auto crossover applied
+    #: (mirrors :class:`~repro.core.gossip.GossipResult`).
+    knowledge_backend: str = ""
+    auto_threshold: int = 0
 
     def to_gossip_result(self) -> GossipResult:
         """Adapt to the phase-level result type consumed by the transfer
@@ -64,6 +68,8 @@ class GossipOutcome:
             average_load=self.average_load,
             n_messages=self.n_messages,
             bytes_sent=self.bytes_sent,
+            knowledge_backend=self.knowledge_backend,
+            auto_threshold=self.auto_threshold,
         )
 
 
@@ -107,7 +113,8 @@ class DistributedGossip:
         #: Explicit backend selection overriding ``packed``: "packed",
         #: "sparse" (per-rank sorted id shards — the O(sum |S^p|)
         #: representation for high rank counts) or "auto" (sparse from
-        #: ``SPARSE_AUTO_MIN_RANKS_FAST`` ranks, packed below). ``None``
+        #: ``resolve_auto_threshold("python")`` ranks, packed below).
+        #: ``None``
         #: keeps the legacy ``packed`` bool semantics. All backends
         #: exchange identical id arrays and consume identical RNG, so
         #: zero-fault outcomes are bit-identical across the choice —
@@ -137,8 +144,13 @@ class DistributedGossip:
 
         underloaded = self.loads < self.average_load
         backend = self.knowledge
+        # This driver merges per received message in scalar Python — the
+        # reference-driver cost profile — so auto uses the shared
+        # "python" crossover, not the fused-kernel one it used to
+        # hard-code (that drifted once the two thresholds diverged).
+        auto_threshold = resolve_auto_threshold("python")
         if backend == "auto":
-            backend = "sparse" if n >= SPARSE_AUTO_MIN_RANKS_FAST else "packed"
+            backend = "sparse" if n >= auto_threshold else "packed"
         if backend == "sparse":
             know: KnowledgeBitmap | PackedKnowledgeBitmap | SparseKnowledge = (
                 SparseKnowledge(n)
@@ -241,4 +253,10 @@ class DistributedGossip:
             n_messages=counters["messages"],
             bytes_sent=counters["bytes"],
             elapsed=elapsed,
+            knowledge_backend=(
+                "sparse" if isinstance(know, SparseKnowledge)
+                else "packed" if isinstance(know, PackedKnowledgeBitmap)
+                else "reference"
+            ),
+            auto_threshold=auto_threshold,
         )

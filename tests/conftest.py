@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core._kernels import reset_numba_warnings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_numba_warnings():
+    """Isolate the warn-once numba-degradation set per test.
+
+    Without this, whichever test first requests ``kernel="numba"``
+    consumes the single RuntimeWarning and any later test asserting on
+    it fails depending on collection order.
+    """
+    reset_numba_warnings()
+    yield
+    reset_numba_warnings()

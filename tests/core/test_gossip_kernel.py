@@ -96,7 +96,7 @@ class TestDegradation:
 
     @pytest.mark.skipif(HAVE_NUMBA, reason="degradation path needs numba absent")
     def test_gossip_kernel_warns_once(self):
-        _kernels._WARNED_FEATURES.clear()
+        _kernels.reset_numba_warnings()
         loads = gamma_loads(128, 0)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
@@ -108,7 +108,7 @@ class TestDegradation:
 
     @pytest.mark.skipif(HAVE_NUMBA, reason="degradation path needs numba absent")
     def test_transfer_kernel_warns_once(self):
-        _kernels._WARNED_FEATURES.clear()
+        _kernels.reset_numba_warnings()
         dist = paper_analysis_scenario(n_tasks=200, n_loaded_ranks=4, n_ranks=64, seed=0)
         loads = np.bincount(dist.assignment, weights=dist.task_loads, minlength=64)
         gossip = run_inform_stage(loads, GossipConfig(fanout=3, rounds=4), rng=0)
@@ -129,7 +129,7 @@ class TestDegradation:
 
     @pytest.mark.skipif(HAVE_NUMBA, reason="degradation path needs numba absent")
     def test_warn_once_per_feature(self):
-        _kernels._WARNED_FEATURES.clear()
+        _kernels.reset_numba_warnings()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             warn_numba_missing("feature A")

@@ -1,0 +1,75 @@
+"""The ``repro net run`` / ``repro net analyze`` command pair."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def episode_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("net_cli")
+    code = main(
+        [
+            "net", "run",
+            "--ranks", "16",
+            "--seed", "3",
+            "--out", str(out),
+            "--check",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestNetRun:
+    def test_writes_result_and_logs(self, episode_dir, capsys):
+        payload = json.loads((episode_dir / "result.json").read_text())
+        assert payload["mode"] == "net"
+        assert payload["spec"]["n_ranks"] == 16
+        assert payload["result"]["per_round_messages"]
+        assert list(episode_dir.glob("logs/wire_rank*.jsonl"))
+
+    def test_check_reports_bit_identity(self, episode_dir, capsys, tmp_path):
+        code = main(
+            [
+                "net", "run",
+                "--ranks", "8",
+                "--seed", "1",
+                "--out", str(tmp_path / "ep"),
+                "--no-logs",
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identity: net == sim" in out
+        assert not (tmp_path / "ep" / "logs").exists()
+
+
+class TestNetAnalyze:
+    def test_analyze_consistent_episode(self, episode_dir, capsys, tmp_path):
+        report_json = tmp_path / "report.json"
+        code = main(
+            ["net", "analyze", str(episode_dir), "--json", str(report_json)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONSISTENT" in out
+        report = json.loads(report_json.read_text())
+        assert report["consistent"] is True
+
+    def test_analyze_flags_doctored_result(self, episode_dir, capsys):
+        result_path = episode_dir / "result.json"
+        payload = json.loads(result_path.read_text())
+        payload["result"]["per_round_messages"][0] += 1
+        result_path.write_text(json.dumps(payload))
+        try:
+            code = main(["net", "analyze", str(episode_dir)])
+            out = capsys.readouterr().out
+            assert code == 1
+            assert "MISMATCH" in out
+        finally:
+            payload["result"]["per_round_messages"][0] -= 1
+            result_path.write_text(json.dumps(payload))

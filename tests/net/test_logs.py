@@ -1,0 +1,101 @@
+"""JSONL wire-log schema round-trip and analyzer cross-checks."""
+
+import json
+
+import pytest
+
+from repro.net import EpisodeSpec, NetOptions, run_episode_net, save_result
+from repro.net.analyze import analyze_episode, analyze_logs, format_report
+from repro.net.logging_jsonl import RECORD_FIELDS, WireLog, iter_records, log_path
+
+
+class TestWireLog:
+    def test_schema_round_trip(self, tmp_path):
+        with WireLog(tmp_path, 3) as log:
+            log.record("tx", "gossip", peer=5, size=96, frame_bytes=120,
+                       round_index=2, iteration=1)
+            log.record("rx", "xfer", peer=1, size=48, frame_bytes=60)
+            log.record("retry", "gossip", peer=5, size=0, frame_bytes=0)
+        rows = list(iter_records(log_path(tmp_path, 3)))
+        assert len(rows) == 3
+        for row in rows:
+            assert tuple(sorted(row)) == tuple(sorted(RECORD_FIELDS))
+        tx, rx, retry = rows
+        assert (tx["dir"], tx["tag"], tx["peer"], tx["round"], tx["iter"]) == (
+            "tx", "gossip", 5, 2, 1
+        )
+        assert (rx["round"], rx["iter"]) == (None, 0)
+        assert retry["dir"] == "retry"
+        assert tx["t_mono"] <= rx["t_mono"] <= retry["t_mono"]
+
+    def test_invalid_direction_rejected(self, tmp_path):
+        with WireLog(tmp_path, 0) as log:
+            with pytest.raises(ValueError, match="dir"):
+                log.record("sideways", "gossip", 1, 0, 0)
+
+    def test_torn_tail_tolerated_mid_corruption_not(self, tmp_path):
+        path = log_path(tmp_path, 0)
+        with WireLog(tmp_path, 0) as log:
+            log.record("tx", "gossip", 1, 10, 20)
+        good = path.read_text()
+        path.write_text(good + '{"t_mono": 1.0, "t_wall"')  # crash mid-write
+        assert len(list(iter_records(path))) == 1
+        path.write_text('{"broken\n' + good)  # corruption before valid rows
+        with pytest.raises(ValueError, match="malformed"):
+            list(iter_records(path))
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = log_path(tmp_path, 0)
+        row = {k: 0 for k in RECORD_FIELDS if k != "peer"}
+        path.write_text(json.dumps(row) + "\n" + json.dumps(row) + "\n")
+        with pytest.raises(ValueError, match="missing fields.*peer"):
+            list(iter_records(path))
+
+
+class TestAnalyzer:
+    @pytest.fixture(scope="class")
+    def episode_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("episode")
+        spec = EpisodeSpec.synthetic(16, seed=4, n_iters=2)
+        options = NetOptions(log_dir=str(out / "logs"))
+        result = run_episode_net(spec, options)
+        save_result(out / "result.json", spec, result, options)
+        return out, spec, result
+
+    def test_logs_agree_with_result_per_round(self, episode_dir):
+        out, spec, result = episode_dir
+        report = analyze_episode(out)
+        assert report["consistent"] is True
+        assert report["logs"]["per_round_tx"] == result.per_round_messages
+        assert report["logs"]["nodes"] == spec.n_ranks
+        assert report["logs"]["per_tag_tx"]["xfer"] == result.transfer_messages
+        # bytes_sent already folds in the transfer messages (the tally
+        # charges XFER_BYTES per move), so the log total matches it.
+        assert report["logs"]["model_bytes"] == result.bytes_sent
+
+    def test_divergence_is_reported_not_averaged(self, episode_dir):
+        out, _, result = episode_dir
+        doctored = json.loads((out / "result.json").read_text())
+        doctored["result"]["per_round_messages"][0] += 1
+        (out / "result.json").write_text(json.dumps(doctored))
+        report = analyze_episode(out)
+        assert report["consistent"] is False
+        assert report["mismatch"]["logs"] == result.per_round_messages
+        # Restore for other tests in the class.
+        doctored["result"]["per_round_messages"][0] -= 1
+        (out / "result.json").write_text(json.dumps(doctored))
+
+    def test_format_report_renders(self, episode_dir):
+        out, _, _ = episode_dir
+        text = format_report(analyze_episode(out))
+        assert "CONSISTENT" in text
+        assert "wire logs: 16 nodes" in text
+
+    def test_analyze_logs_keys_rounds_by_iteration(self, episode_dir):
+        out, spec, result = episode_dir
+        logs = analyze_logs(out / "logs")
+        # Two iterations: the analyzer must not collapse equal round
+        # numbers across them.
+        iters = {i for i, _ in (tuple(r) for r in logs["rounds"])}
+        assert iters == {0, 1}
+        assert len(logs["per_round_tx"]) == len(result.per_round_messages)

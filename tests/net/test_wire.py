@@ -1,0 +1,84 @@
+"""Framing and codec round-trips for the real-socket runtime."""
+
+import numpy as np
+import pytest
+
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    pack_frame,
+    unpack_frame,
+)
+from repro.sim.messages import (
+    Message,
+    WireFormatError,
+    decode_payload,
+    encode_payload,
+    from_wire,
+    to_wire,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        obj = {"t": "commit", "round": 3, "expect": {"0": 2, "1": 0}}
+        frame, rest = unpack_frame(pack_frame(obj))
+        assert frame == obj
+        assert rest == b""
+
+    def test_concatenated_frames_split_cleanly(self):
+        a, b = {"t": "a"}, {"t": "b", "n": 1}
+        data = pack_frame(a) + pack_frame(b)
+        first, rest = unpack_frame(data)
+        second, tail = unpack_frame(rest)
+        assert (first, second, tail) == (a, b, b"")
+
+    def test_truncated_frame_raises(self):
+        data = pack_frame({"t": "x", "pad": "y" * 100})
+        with pytest.raises(FrameError, match="truncated"):
+            unpack_frame(data[:-1])
+        with pytest.raises(FrameError, match="length prefix"):
+            unpack_frame(data[:3])
+
+    def test_oversized_length_prefix_rejected(self):
+        bogus = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"x"
+        with pytest.raises(FrameError, match="exceeds"):
+            unpack_frame(bogus)
+
+    def test_non_object_body_rejected(self):
+        data = len(b"[1,2]").to_bytes(4, "big") + b"[1,2]"
+        with pytest.raises(FrameError, match="object"):
+            unpack_frame(data)
+
+    def test_frame_error_is_wire_format_error(self):
+        # One except-clause catches both codec and framing faults.
+        assert issubclass(FrameError, WireFormatError)
+
+
+class TestMessageCodec:
+    def test_gossip_payload_round_trips_ndarray(self):
+        members = np.array([0, 3, 7, 12], dtype=np.int64)
+        msg = Message(
+            src=3,
+            dst=7,            tag="gossip",
+            payload={"round": 2, "members": members},
+            size=96,
+        )
+        frame, rest = unpack_frame(pack_frame(to_wire(msg)))
+        assert rest == b""
+        back = from_wire(frame)
+        assert (back.src, back.dst, back.tag, back.size) == (3, 7, "gossip", 96)
+        assert back.payload["round"] == 2
+        restored = back.payload["members"]
+        assert isinstance(restored, np.ndarray)
+        assert restored.dtype == members.dtype
+        np.testing.assert_array_equal(restored, members)
+
+    def test_tuple_payload_round_trips(self):
+        payload = {"move": (4, 9, 17)}
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_empty_shard_round_trips(self):
+        empty = np.array([], dtype=np.int32)
+        out = decode_payload(encode_payload({"members": empty}))["members"]
+        assert out.dtype == np.int32 and out.size == 0

@@ -1,0 +1,69 @@
+"""Profile artifacts must survive failing benchmark cases.
+
+Profiling is diagnostics riding along a bench run: a case that raises
+mid-profile must neither abort the run (crashing the JSON writer with
+the payload half-built) nor leave a truncated ``profile_<case>.txt``
+behind to be mistaken for a complete listing.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import write_profiles
+from repro.perf.bench import _profile_text
+
+
+class TestProfileText:
+    def test_failing_case_yields_annotated_listing(self):
+        def boom():
+            raise RuntimeError("synthetic bench failure")
+
+        text = _profile_text(boom)
+        assert "PROFILED CASE FAILED" in text
+        assert "synthetic bench failure" in text
+        # The partial profile still renders as a pstats listing.
+        assert "cumulative" in text
+
+    def test_passing_case_unchanged(self):
+        text = _profile_text(lambda: sum(range(100)))
+        assert "PROFILED CASE FAILED" not in text
+        assert "function calls" in text
+
+
+class TestWriteProfiles:
+    def test_writes_are_atomic_and_complete(self, tmp_path):
+        profiles = {"caseA": "listing A\n", "caseB": "listing B\n"}
+        written = write_profiles(profiles, outdir=tmp_path)
+        assert sorted(p.name for p in written) == [
+            "profile_caseA.txt",
+            "profile_caseB.txt",
+        ]
+        for path in written:
+            assert path.read_text().startswith("listing ")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_empty_profiles_write_nothing(self, tmp_path):
+        assert write_profiles({}, outdir=tmp_path) == []
+        assert not any(tmp_path.iterdir())
+
+    def test_failed_write_leaves_no_truncated_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            if "caseB" in str(dst):
+                raise OSError("disk full")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            write_profiles(
+                {"caseA": "A\n", "caseB": "B\n"}, outdir=tmp_path
+            )
+        # caseA (sorted first) landed whole; caseB left nothing — no
+        # target file, no temp debris.
+        assert (tmp_path / "profile_caseA.txt").read_text() == "A\n"
+        assert not (tmp_path / "profile_caseB.txt").exists()
+        assert not list(tmp_path.glob("*.tmp"))
